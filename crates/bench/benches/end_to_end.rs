@@ -1,0 +1,68 @@
+//! End-to-end Criterion benchmarks: full IOR runs per interface on a
+//! small cluster, measuring *host* time per simulated experiment — i.e.
+//! how expensive the reproduction itself is to run. (The paper's figures
+//! come from the `fig*` binaries; this tracks simulator performance so
+//! regressions in the repo's own hot paths are caught.)
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+
+use daos_core::ClusterConfig;
+use daos_dfs::DfsConfig;
+use daos_dfuse::DfuseConfig;
+use daos_ior::{run, Api, DaosTestbed, IorParams};
+use daos_placement::ObjectClass;
+use daos_sim::units::MIB;
+use daos_sim::Sim;
+
+fn one_run(api: Api, fpp: bool) -> f64 {
+    let mut sim = Sim::new(0xE2E);
+    sim.block_on(move |sim| async move {
+        let env = DaosTestbed::setup(
+            &sim,
+            ClusterConfig::tiny(2),
+            DfsConfig::default(),
+            DfuseConfig::default(),
+        )
+        .await
+        .expect("testbed");
+        let p = IorParams {
+            api,
+            transfer_size: MIB,
+            block_size: 8 * MIB,
+            segments: 1,
+            file_per_process: fpp,
+            ppn: 4,
+            oclass: ObjectClass::S2,
+            chunk_size: MIB,
+            verify: false,
+            do_write: true,
+            do_read: true,
+            random_offsets: false,
+            reorder_read: false,
+            stonewall: None,
+        };
+        let r = run(&sim, &env, p).await.expect("run");
+        r.write_gib_s() + r.read_gib_s()
+    })
+}
+
+fn bench_ior(c: &mut Criterion) {
+    let mut g = c.benchmark_group("ior_sim");
+    g.sample_size(10);
+    for (name, api) in [
+        ("dfs", Api::Dfs),
+        ("posix", Api::Posix { il: false }),
+        ("mpiio", Api::Mpiio { collective: false }),
+        ("hdf5", Api::Hdf5),
+        ("daos_array", Api::DaosArray),
+    ] {
+        g.bench_function(format!("{name}_fpp"), |b| {
+            b.iter(|| black_box(one_run(api, true)))
+        });
+    }
+    g.bench_function("dfs_shared", |b| b.iter(|| black_box(one_run(Api::Dfs, false))));
+    g.finish();
+}
+
+criterion_group!(benches, bench_ior);
+criterion_main!(benches);

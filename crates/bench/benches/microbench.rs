@@ -1,0 +1,160 @@
+//! Criterion microbenchmarks for the hot data structures and the DES
+//! kernel: how fast the *simulator itself* runs, and the cost of the core
+//! algorithms (extent overlay, placement, RAFT replication).
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion, Throughput};
+
+use daos_placement::{jump_consistent_hash, place, ObjectClass, ObjectId, PoolMap};
+use daos_raft::testing::Cluster as RaftCluster;
+use daos_sim::time::SimDuration;
+use daos_sim::units::{Bandwidth, MIB};
+use daos_sim::{Pipe, Sim};
+use daos_vos::tree::ExtentTree;
+use daos_vos::Payload;
+
+fn bench_extent_tree(c: &mut Criterion) {
+    let mut g = c.benchmark_group("extent_tree");
+    g.bench_function("insert_1k_sequential", |b| {
+        b.iter(|| {
+            let mut t = ExtentTree::new();
+            for i in 0..1000u64 {
+                t.insert(i * 4096, i + 1, Payload::pattern(i, 4096));
+            }
+            black_box(t.extent_count())
+        })
+    });
+    g.bench_function("read_overlay_100_writes", |b| {
+        let mut t = ExtentTree::new();
+        let mut s = 0x1234u64;
+        for e in 1..=100u64 {
+            s ^= s << 13;
+            s ^= s >> 7;
+            s ^= s << 17;
+            t.insert(s % 100_000, e, Payload::pattern(e, 8192));
+        }
+        b.iter(|| black_box(t.read(0, 120_000, 100).len()))
+    });
+    g.bench_function("aggregate_200_overwrites", |b| {
+        b.iter_with_setup(
+            || {
+                let mut t = ExtentTree::new();
+                for e in 1..=200u64 {
+                    t.insert(0, e, Payload::pattern(e, 64 * 1024));
+                }
+                t
+            },
+            |mut t| black_box(t.aggregate(200)),
+        )
+    });
+    g.finish();
+}
+
+fn bench_placement(c: &mut Criterion) {
+    let mut g = c.benchmark_group("placement");
+    let map = PoolMap::new(16, 8);
+    g.bench_function("place_s1", |b| {
+        let mut i = 0u64;
+        b.iter(|| {
+            i += 1;
+            black_box(place(ObjectId::new(i, i), ObjectClass::S1, &map))
+        })
+    });
+    g.bench_function("place_sx_128_targets", |b| {
+        let mut i = 0u64;
+        b.iter(|| {
+            i += 1;
+            black_box(place(ObjectId::new(i, i), ObjectClass::SX, &map))
+        })
+    });
+    g.bench_function("jump_hash", |b| {
+        let mut k = 0u64;
+        b.iter(|| {
+            k += 1;
+            black_box(jump_consistent_hash(k, 128))
+        })
+    });
+    g.finish();
+}
+
+fn bench_payload(c: &mut Criterion) {
+    let mut g = c.benchmark_group("payload");
+    g.throughput(Throughput::Bytes(MIB));
+    g.bench_function("pattern_materialize_1mib", |b| {
+        let p = Payload::pattern(7, MIB);
+        b.iter(|| black_box(p.materialize().len()))
+    });
+    g.bench_function("pattern_slice_1mib", |b| {
+        let p = Payload::pattern(7, 4 * MIB);
+        b.iter(|| black_box(p.slice(MIB, MIB).len()))
+    });
+    g.finish();
+}
+
+fn bench_raft(c: &mut Criterion) {
+    let mut g = c.benchmark_group("raft");
+    g.bench_function("propose_commit_3_replicas", |b| {
+        b.iter_with_setup(
+            || {
+                let mut cl: RaftCluster<u64> = RaftCluster::new(3, 0xBE);
+                cl.run_until_leader(500);
+                cl
+            },
+            |mut cl| {
+                for i in 0..32u64 {
+                    cl.propose(i);
+                    cl.run(3);
+                }
+                black_box(cl.applied.values().next().unwrap().len())
+            },
+        )
+    });
+    g.finish();
+}
+
+fn bench_sim_kernel(c: &mut Criterion) {
+    let mut g = c.benchmark_group("sim_kernel");
+    g.bench_function("spawn_sleep_10k_tasks", |b| {
+        b.iter(|| {
+            let mut sim = Sim::new(1);
+            sim.block_on(|sim| async move {
+                let futs: Vec<_> = (0..10_000u64)
+                    .map(|i| {
+                        let s = sim.clone();
+                        async move {
+                            s.sleep_ns(i % 977).await;
+                        }
+                    })
+                    .collect();
+                daos_sim::executor::join_all(&sim, futs).await;
+            });
+            black_box(())
+        })
+    });
+    g.bench_function("pipe_10k_transfers", |b| {
+        b.iter(|| {
+            let mut sim = Sim::new(1);
+            sim.block_on(|sim| async move {
+                let pipe = Pipe::new(
+                    "bench",
+                    Bandwidth::gib_per_sec(10.0),
+                    SimDuration::from_us(1),
+                );
+                for _ in 0..10_000 {
+                    pipe.transfer(&sim, 4096).await;
+                }
+            });
+            black_box(())
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_extent_tree,
+    bench_placement,
+    bench_payload,
+    bench_raft,
+    bench_sim_kernel
+);
+criterion_main!(benches);

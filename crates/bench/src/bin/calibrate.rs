@@ -1,0 +1,34 @@
+//! Calibration probe: prints the key orderings the paper reports, for
+//! tuning the cost model. Not one of the figure reproductions.
+
+use daos_bench::{print_csv, run_sweep, ExperimentPoint};
+use daos_ior::Api;
+use daos_placement::ObjectClass;
+
+fn main() {
+    let apis = [
+        Api::Dfs,
+        Api::Mpiio { collective: false },
+        Api::Hdf5,
+    ];
+    let classes = [ObjectClass::S1, ObjectClass::S2, ObjectClass::SX];
+    let nodes = [1u32, 4, 16];
+    let mut points = Vec::new();
+    for api in apis {
+        for class in classes {
+            for n in nodes {
+                points.push(ExperimentPoint {
+                    api,
+                    oclass: class,
+                    client_nodes: n,
+                });
+            }
+        }
+    }
+    let fpp = std::env::args().nth(1).as_deref() != Some("shared");
+    let ms = run_sweep(points, fpp, 16, 0xCA11B);
+    print_csv(
+        &format!("calibration ({})", if fpp { "fpp" } else { "shared" }),
+        &ms,
+    );
+}

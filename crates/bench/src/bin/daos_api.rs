@@ -1,0 +1,57 @@
+//! **The paper's future work, implemented** (§V): IOR through the native
+//! DAOS array API (no filesystem layer at all) against the DFS and
+//! DFuse-POSIX paths, plus the interception library as a further ablation.
+//!
+//! ```text
+//! cargo run -p daos-bench --release --bin daos_api
+//! ```
+
+use daos_bench::{check, print_csv, run_sweep, series_table, ExperimentPoint};
+use daos_ior::Api;
+use daos_placement::ObjectClass;
+
+const NODES: [u32; 3] = [1, 4, 16];
+const PPN: u32 = 16;
+
+fn main() {
+    let apis = [
+        Api::DaosArray,
+        Api::Dfs,
+        Api::Posix { il: false },
+        Api::Posix { il: true },
+    ];
+    let mut points = Vec::new();
+    for api in apis {
+        for n in NODES {
+            points.push(ExperimentPoint {
+                api,
+                oclass: ObjectClass::SX,
+                client_nodes: n,
+            });
+        }
+    }
+    let ms = run_sweep(points, true, PPN, 0xDA05A);
+    print_csv("Native DAOS array API vs file interfaces (SX, fpp)", &ms);
+
+    let wr = series_table(&ms, false);
+    let rd = series_table(&ms, true);
+    check(
+        // 6% tolerance: the native-API runs use fixed object ids, so their
+        // placement is one draw rather than the file runs' averaged draws
+        "native array API ~= DFS or better (skips namespace metadata)",
+        NODES
+            .iter()
+            .all(|n| wr["DAOS-SX"][n] >= 0.94 * wr["DFS-SX"][n]),
+    );
+    check(
+        "interception library recovers DFS-level performance over POSIX",
+        NODES.iter().all(|n| {
+            wr["POSIX+IL-SX"][n] >= 0.98 * wr["POSIX-SX"][n]
+                && rd["POSIX+IL-SX"][n] >= 0.98 * rd["POSIX-SX"][n]
+        }),
+    );
+    check(
+        "every file interface stays within 15% of the native API (bulk I/O)",
+        NODES.iter().all(|n| wr["POSIX-SX"][n] > 0.85 * wr["DAOS-SX"][n]),
+    );
+}

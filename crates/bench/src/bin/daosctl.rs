@@ -1,0 +1,210 @@
+//! `daosctl` — drive the simulated DAOS system from the command line.
+//!
+//! ```text
+//! daosctl ior   [--api dfs|posix|posix-il|mpiio|mpiio-coll|hdf5|daos]
+//!               [--nodes N] [--ppn N] [--xfer BYTES] [--block BYTES]
+//!               [--segments N] [--oclass S1|S2|...|SX|RP_2GX|EC_2P1GX]
+//!               [--shared] [--random] [--reorder] [--stonewall-ms N]
+//!               [--verify] [--seed N]
+//! daosctl pool  [--nodes N]            # build a cluster, print its layout
+//! daosctl place --oclass CLASS [--count N]   # show placement statistics
+//! ```
+//!
+//! Sizes accept `k`/`m`/`g` suffixes (KiB/MiB/GiB). Everything runs in
+//! simulation; output includes both bandwidth and the simulated duration.
+
+use std::rc::Rc;
+
+use daos_bench::paper_cluster;
+use daos_dfs::DfsConfig;
+use daos_dfuse::DfuseConfig;
+use daos_ior::{run, Api, DaosTestbed, IorParams};
+use daos_placement::{load_spread, place, ObjectClass, ObjectId, PoolMap};
+use daos_sim::time::SimDuration;
+use daos_sim::units::fmt_bytes;
+use daos_sim::Sim;
+
+fn parse_size(s: &str) -> u64 {
+    let (num, mult) = match s.to_ascii_lowercase() {
+        x if x.ends_with('g') => (x[..x.len() - 1].to_string(), 1u64 << 30),
+        x if x.ends_with('m') => (x[..x.len() - 1].to_string(), 1u64 << 20),
+        x if x.ends_with('k') => (x[..x.len() - 1].to_string(), 1u64 << 10),
+        x => (x, 1),
+    };
+    num.parse::<u64>().unwrap_or_else(|_| die(&format!("bad size: {s}"))) * mult
+}
+
+fn die(msg: &str) -> ! {
+    eprintln!("daosctl: {msg}");
+    std::process::exit(2)
+}
+
+struct Args {
+    flags: Vec<(String, Option<String>)>,
+}
+
+impl Args {
+    fn parse(raw: &[String]) -> Args {
+        let mut flags = Vec::new();
+        let mut i = 0;
+        while i < raw.len() {
+            let a = &raw[i];
+            if let Some(name) = a.strip_prefix("--") {
+                let val = raw
+                    .get(i + 1)
+                    .filter(|v| !v.starts_with("--"))
+                    .cloned();
+                if val.is_some() {
+                    i += 1;
+                }
+                flags.push((name.to_string(), val));
+            } else {
+                die(&format!("unexpected argument: {a}"));
+            }
+            i += 1;
+        }
+        Args { flags }
+    }
+    fn get(&self, name: &str) -> Option<&str> {
+        self.flags
+            .iter()
+            .find(|(n, _)| n == name)
+            .and_then(|(_, v)| v.as_deref())
+    }
+    fn has(&self, name: &str) -> bool {
+        self.flags.iter().any(|(n, _)| n == name)
+    }
+}
+
+fn cmd_ior(args: &Args) {
+    let api = match args.get("api").unwrap_or("dfs") {
+        "dfs" => Api::Dfs,
+        "posix" => Api::Posix { il: false },
+        "posix-il" => Api::Posix { il: true },
+        "mpiio" => Api::Mpiio { collective: false },
+        "mpiio-coll" => Api::Mpiio { collective: true },
+        "hdf5" => Api::Hdf5,
+        "daos" => Api::DaosArray,
+        other => die(&format!("unknown api: {other}")),
+    };
+    let oclass = ObjectClass::parse(args.get("oclass").unwrap_or("SX"))
+        .unwrap_or_else(|| die("bad --oclass"));
+    let nodes: u32 = args.get("nodes").unwrap_or("4").parse().unwrap_or_else(|_| die("bad --nodes"));
+    let ppn: u32 = args.get("ppn").unwrap_or("16").parse().unwrap_or_else(|_| die("bad --ppn"));
+    let params = IorParams {
+        api,
+        transfer_size: parse_size(args.get("xfer").unwrap_or("1m")),
+        block_size: parse_size(args.get("block").unwrap_or("32m")),
+        segments: args.get("segments").unwrap_or("1").parse().unwrap_or_else(|_| die("bad --segments")),
+        file_per_process: !args.has("shared"),
+        ppn,
+        oclass,
+        chunk_size: parse_size(args.get("chunk").unwrap_or("1m")),
+        verify: args.has("verify"),
+        do_write: true,
+        do_read: true,
+        random_offsets: args.has("random"),
+        reorder_read: args.has("reorder"),
+        stonewall: args
+            .get("stonewall-ms")
+            .map(|v| SimDuration::from_ms(v.parse().unwrap_or_else(|_| die("bad --stonewall-ms")))),
+    };
+    let seed: u64 = args.get("seed").unwrap_or("1").parse().unwrap_or_else(|_| die("bad --seed"));
+
+    let mut sim = Sim::new(seed);
+    let report = sim.block_on(move |sim| async move {
+        let env = DaosTestbed::setup(
+            &sim,
+            paper_cluster(nodes),
+            DfsConfig::default(),
+            DfuseConfig::default(),
+        )
+        .await
+        .unwrap_or_else(|e| die(&format!("testbed: {e}")));
+        run(&sim, &env, params)
+            .await
+            .unwrap_or_else(|e| die(&format!("ior: {e}")))
+    });
+    println!(
+        "api {:8} oclass {:8} {} | {} ranks on {} nodes",
+        api.name(),
+        oclass.name(),
+        if params.file_per_process { "fpp" } else { "shared" },
+        report.ranks,
+        report.client_nodes,
+    );
+    println!(
+        "write: {} in {}  ->  {:8.3} GiB/s",
+        fmt_bytes(report.bytes_written),
+        report.write_time,
+        report.write_gib_s()
+    );
+    println!(
+        "read:  {} in {}  ->  {:8.3} GiB/s",
+        fmt_bytes(report.bytes_read),
+        report.read_time,
+        report.read_gib_s()
+    );
+}
+
+fn cmd_pool(args: &Args) {
+    let nodes: u32 = args.get("nodes").unwrap_or("4").parse().unwrap_or_else(|_| die("bad --nodes"));
+    let mut sim = Sim::new(7);
+    sim.block_on(move |sim| async move {
+        let cluster = daos_core::Cluster::build(&sim, paper_cluster(nodes));
+        let client = daos_core::DaosClient::new(Rc::clone(&cluster), 0);
+        client.connect(&sim).await.unwrap_or_else(|e| die(&format!("connect: {e}")));
+        let cfg = &cluster.cfg;
+        println!("pool ready at {} (leader elected)", sim.now());
+        println!(
+            "  servers: {} x {} engines ({} targets each) = {} targets",
+            cfg.server_nodes,
+            cfg.engines_per_node,
+            cfg.targets_per_engine,
+            cfg.engine_count() * cfg.targets_per_engine
+        );
+        println!("  clients: {} nodes", cfg.client_nodes);
+        println!(
+            "  service: {} RAFT replicas on engines {:?}",
+            cluster.replicas().len(),
+            cluster.svc_engines()
+        );
+        for (i, r) in cluster.replicas().iter().enumerate() {
+            println!("    replica {}: {:?}", i + 1, r.role());
+        }
+    });
+}
+
+fn cmd_place(args: &Args) {
+    let class = ObjectClass::parse(args.get("oclass").unwrap_or("S2"))
+        .unwrap_or_else(|| die("bad --oclass"));
+    let count: u64 = args.get("count").unwrap_or("1000").parse().unwrap_or_else(|_| die("bad --count"));
+    let map = PoolMap::new(16, 8);
+    let layouts: Vec<_> = (0..count)
+        .map(|i| place(ObjectId::new(i, i * 7 + 1), class, &map))
+        .collect();
+    let (mean, sd, max) = load_spread(&layouts, &map);
+    println!(
+        "{count} objects, class {class}: width {} shards, fan-out {} engines",
+        layouts[0].width(),
+        layouts[0].engine_fanout(&map)
+    );
+    println!(
+        "per-target load: mean {mean:.1} sd {sd:.2} max {max} (max/mean {:.2})",
+        max as f64 / mean
+    );
+}
+
+fn main() {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    let Some((cmd, rest)) = argv.split_first() else {
+        die("usage: daosctl <ior|pool|place> [flags]; see source header for flags")
+    };
+    let args = Args::parse(rest);
+    match cmd.as_str() {
+        "ior" => cmd_ior(&args),
+        "pool" => cmd_pool(&args),
+        "place" => cmd_place(&args),
+        other => die(&format!("unknown command: {other}")),
+    }
+}

@@ -1,0 +1,95 @@
+//! **DFuse-knob ablation**: how much of the POSIX path's cost comes from
+//! each modelled mechanism — kernel crossings, request splitting
+//! (`max_req`), daemon concurrency, and the interception library. This
+//! decomposes the DESIGN.md cost model so the Figure 1/2 interface gaps
+//! can be attributed.
+//!
+//! ```text
+//! cargo run -p daos-bench --release --bin dfuse_ablation
+//! ```
+
+use daos_bench::{check, paper_cluster, paper_params};
+use daos_dfs::DfsConfig;
+use daos_dfuse::DfuseConfig;
+use daos_ior::{run, Api, DaosTestbed};
+use daos_placement::ObjectClass;
+use daos_sim::time::SimDuration;
+use daos_sim::Sim;
+
+const NODES: u32 = 1; // latency-bound regime: knob effects are visible
+const PPN: u32 = 4; // few writers: per-op latency visible
+
+fn point(dfuse: DfuseConfig, api: Api) -> (f64, f64) {
+    let mut sim = Sim::new(0xAB1A);
+    sim.block_on(move |sim| async move {
+        let env = DaosTestbed::setup(&sim, paper_cluster(NODES), DfsConfig::default(), dfuse)
+            .await
+            .expect("testbed");
+        let mut p = paper_params(api, ObjectClass::S2, true, PPN);
+        p.block_size = 16 << 20;
+        let r = run(&sim, &env, p).await.expect("run");
+        (r.write_gib_s(), r.read_gib_s())
+    })
+}
+
+fn main() {
+    println!("# dfuse ablation: {NODES} nodes x {PPN} ppn, S2, fpp, POSIX api");
+    println!("variant,write_gib_s,read_gib_s");
+    let base = DfuseConfig::default();
+    let variants: Vec<(&str, DfuseConfig)> = vec![
+        ("default (4us crossing, 1MiB reqs, 16 threads)", base),
+        (
+            "slow crossings (20us)",
+            DfuseConfig {
+                kernel_crossing: SimDuration::from_us(20),
+                ..base
+            },
+        ),
+        (
+            "small requests (128KiB max_req)",
+            DfuseConfig {
+                max_req: 128 << 10,
+                ..base
+            },
+        ),
+        (
+            "single daemon thread",
+            DfuseConfig {
+                daemon_threads: 1,
+                ..base
+            },
+        ),
+        (
+            "interception library",
+            DfuseConfig {
+                interception: true,
+                ..base
+            },
+        ),
+    ];
+    let mut results = Vec::new();
+    for (name, cfg) in &variants {
+        let (w, r) = point(*cfg, Api::Posix { il: cfg.interception });
+        println!("{name},{w:.3},{r:.3}");
+        results.push((*name, w, r));
+    }
+    let (_, dfs_w, dfs_r) = {
+        let (w, r) = point(base, Api::Dfs);
+        ("dfs", w, r)
+    };
+    println!("native DFS (no fuse at all),{dfs_w:.3},{dfs_r:.3}");
+
+    let w_of = |n: &str| results.iter().find(|(x, _, _)| x.starts_with(n)).unwrap().1;
+    check(
+        "128KiB request splitting costs real write bandwidth",
+        w_of("small requests") < 0.9 * w_of("default"),
+    );
+    check(
+        "a single daemon thread bottlenecks the node",
+        w_of("single daemon thread") < 0.8 * w_of("default"),
+    );
+    check(
+        "the interception library matches native DFS",
+        (w_of("interception") - dfs_w).abs() / dfs_w < 0.05,
+    );
+}

@@ -1,0 +1,82 @@
+//! **IO500-style composite score** (paper §I cites DAOS's IO-500 rankings
+//! as evidence it scales): ior-easy + ior-hard + mdtest-easy on the
+//! simulated testbed, combined with the IO500 geometric mean.
+//!
+//! ```text
+//! cargo run -p daos-bench --release --bin io500 [nodes]
+//! ```
+
+use daos_bench::{paper_cluster, paper_params};
+use daos_dfs::DfsConfig;
+use daos_dfuse::DfuseConfig;
+use daos_ior::{mdtest, run, Api, DaosTestbed, MdBackend};
+use daos_placement::ObjectClass;
+use daos_sim::Sim;
+
+fn main() {
+    let nodes: u32 = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(8);
+    let ppn = 16;
+    let mut sim = Sim::new(0x10500);
+    let (easy, hard, md) = sim.block_on(move |sim| async move {
+        let env = DaosTestbed::setup(
+            &sim,
+            paper_cluster(nodes),
+            DfsConfig::default(),
+            DfuseConfig::default(),
+        )
+        .await
+        .expect("testbed");
+        // ior-easy: file-per-process, free choice of class -> S2
+        let easy = run(&sim, &env, {
+            let mut p = paper_params(Api::Dfs, ObjectClass::S2, true, ppn);
+            p.block_size = 16 << 20;
+            p
+        })
+        .await
+        .expect("ior easy");
+        // ior-hard: single shared file -> SX
+        let hard = run(&sim, &env, {
+            let mut p = paper_params(Api::Dfs, ObjectClass::SX, false, ppn);
+            p.block_size = 16 << 20;
+            p
+        })
+        .await
+        .expect("ior hard");
+        // mdtest-easy through the native DFS API
+        let md = mdtest(&sim, &env, MdBackend::Dfs, ppn, 48)
+            .await
+            .expect("mdtest");
+        (easy, hard, md)
+    });
+
+    let bw = [
+        ("ior-easy-write", easy.write_gib_s()),
+        ("ior-easy-read", easy.read_gib_s()),
+        ("ior-hard-write", hard.write_gib_s()),
+        ("ior-hard-read", hard.read_gib_s()),
+    ];
+    let md_rates = [
+        ("mdtest-create", md.creates_per_s() / 1000.0),
+        ("mdtest-stat", md.stats_per_s() / 1000.0),
+        ("mdtest-delete", md.unlinks_per_s() / 1000.0),
+    ];
+    println!("# io500-style run: {nodes} client nodes x {ppn} ppn");
+    for (n, v) in &bw {
+        println!("{n:18} {v:10.3} GiB/s");
+    }
+    for (n, v) in &md_rates {
+        println!("{n:18} {v:10.3} kIOPS");
+    }
+    let geo = |vals: &[f64]| {
+        (vals.iter().map(|v| v.ln()).sum::<f64>() / vals.len() as f64).exp()
+    };
+    let bw_score = geo(&bw.iter().map(|(_, v)| *v).collect::<Vec<_>>());
+    let md_score = geo(&md_rates.iter().map(|(_, v)| *v).collect::<Vec<_>>());
+    let total = (bw_score * md_score).sqrt();
+    println!("\nbw score  {bw_score:8.3} GiB/s (geometric mean)");
+    println!("md score  {md_score:8.3} kIOPS   (geometric mean)");
+    println!("io500     {total:8.3}");
+}

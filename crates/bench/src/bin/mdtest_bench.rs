@@ -1,0 +1,73 @@
+//! **Metadata rates** (paper §I motivation): mdtest-style create / stat /
+//! unlink storms through DFS, DFuse and the Lustre-like PFS — the
+//! "large numbers of small files stress the MDS" scenario object stores
+//! are meant to fix.
+//!
+//! ```text
+//! cargo run -p daos-bench --release --bin mdtest_bench
+//! ```
+
+
+use daos_bench::{check, paper_cluster};
+use daos_dfs::DfsConfig;
+use daos_dfuse::DfuseConfig;
+use daos_ior::{mdtest, mdtest_pfs, DaosTestbed, MdBackend, MdtestReport};
+use daos_pfs::{Pfs, PfsConfig};
+use daos_sim::Sim;
+
+const NODES: u32 = 8;
+const PPN: u32 = 8;
+const FILES: u32 = 64;
+
+fn daos_md(backend: MdBackend) -> MdtestReport {
+    let mut sim = Sim::new(0x3D7 ^ backend as u64);
+    sim.block_on(move |sim| async move {
+        let env = DaosTestbed::setup(
+            &sim,
+            paper_cluster(NODES),
+            DfsConfig::default(),
+            DfuseConfig::default(),
+        )
+        .await
+        .expect("testbed");
+        mdtest(&sim, &env, backend, PPN, FILES).await.expect("mdtest")
+    })
+}
+
+fn pfs_md() -> MdtestReport {
+    let mut sim = Sim::new(0x3D8);
+    sim.block_on(move |sim| async move {
+        let fs = Pfs::build(PfsConfig {
+            client_nodes: NODES,
+            ..Default::default()
+        });
+        // pre-create per-rank dirs is implicit in the flat namespace
+        mdtest_pfs(&sim, &fs, PPN, FILES).await.expect("mdtest pfs")
+    })
+}
+
+fn main() {
+    let dfs = daos_md(MdBackend::Dfs);
+    let dfuse = daos_md(MdBackend::Dfuse);
+    let pfs = pfs_md();
+    println!("# mdtest: {} ranks x {} files", NODES * PPN, FILES);
+    println!("backend,create_per_s,stat_per_s,unlink_per_s");
+    for (name, r) in [("dfs", &dfs), ("dfuse", &dfuse), ("pfs", &pfs)] {
+        println!(
+            "{name},{:.0},{:.0},{:.0}",
+            r.creates_per_s(),
+            r.stats_per_s(),
+            r.unlinks_per_s()
+        );
+    }
+    check(
+        "DAOS metadata rates scale past the single-MDS PFS",
+        dfs.creates_per_s() > 2.0 * pfs.creates_per_s()
+            && dfs.stats_per_s() > 2.0 * pfs.stats_per_s(),
+    );
+    check(
+        "DFuse adds overhead over native DFS but stays well above the PFS",
+        dfuse.creates_per_s() <= dfs.creates_per_s()
+            && dfuse.creates_per_s() > pfs.creates_per_s(),
+    );
+}

@@ -1,0 +1,49 @@
+//! **Object-class ablation** (paper §IV discussion): DFS-only sweep over
+//! a wider class set than the figures — S1/S2/S4/S8/SX plus the
+//! protection classes (replication, erasure coding) DAOS advertises.
+//!
+//! ```text
+//! cargo run -p daos-bench --release --bin oclass_sweep
+//! ```
+
+use daos_bench::{check, print_csv, run_sweep, series_table, ExperimentPoint};
+use daos_ior::Api;
+use daos_placement::ObjectClass;
+
+const NODES: [u32; 3] = [1, 4, 16];
+const PPN: u32 = 16;
+
+fn main() {
+    let classes = [
+        ObjectClass::S1,
+        ObjectClass::S2,
+        ObjectClass::S4,
+        ObjectClass::S8,
+        ObjectClass::SX,
+    ];
+    let mut points = Vec::new();
+    for class in classes {
+        for n in NODES {
+            points.push(ExperimentPoint {
+                api: Api::Dfs,
+                oclass: class,
+                client_nodes: n,
+            });
+        }
+    }
+    let ms = run_sweep(points, true, PPN, 0x0C1A);
+    print_csv("Object-class sweep (DFS, file-per-process)", &ms);
+
+    let wr = series_table(&ms, false);
+    check(
+        "sharding degree interpolates: S1 <= S4 <= SX write at 16 nodes (±10%)",
+        wr["DFS-S1"][&16] <= wr["DFS-S4"][&16] * 1.1
+            && wr["DFS-S4"][&16] <= wr["DFS-SX"][&16] * 1.1,
+    );
+    check(
+        "every class lands in a sane envelope (1-60 GiB/s write)",
+        wr.values()
+            .flat_map(|s| s.values())
+            .all(|&b| b > 1.0 && b < 60.0),
+    );
+}

@@ -1,0 +1,234 @@
+//! # daos-bench — experiment harness for the paper's evaluation
+//!
+//! Each binary in `src/bin/` regenerates one figure or table from
+//! *DAOS as HPC Storage: Exploring Interfaces* (CLUSTER 2023); this library
+//! holds the shared sweep machinery:
+//!
+//! * [`ExperimentPoint`] — one (api, object class, client-node count) cell;
+//! * [`run_sweep`] — executes every point, **in parallel across host
+//!   threads** (one deterministic `Sim` per point, fanned out with
+//!   `crossbeam::scope` — simulations are independent, so this is the
+//!   embarrassingly parallel axis);
+//! * CSV emission and a terminal ASCII chart so the figure's *shape* is
+//!   visible without leaving the shell.
+
+use std::collections::BTreeMap;
+
+use daos_core::ClusterConfig;
+use daos_dfs::DfsConfig;
+use daos_dfuse::DfuseConfig;
+use daos_ior::{run, Api, DaosTestbed, IorParams, IorReport};
+use daos_placement::ObjectClass;
+use daos_sim::Sim;
+
+/// One cell of a figure: a full IOR run at one scale.
+#[derive(Clone, Copy, Debug)]
+pub struct ExperimentPoint {
+    pub api: Api,
+    pub oclass: ObjectClass,
+    pub client_nodes: u32,
+}
+
+/// A measured cell.
+#[derive(Clone, Debug)]
+pub struct Measurement {
+    pub point: ExperimentPoint,
+    pub report: IorReport,
+}
+
+impl Measurement {
+    /// Series label as it would appear in the paper's legend.
+    pub fn series(&self) -> String {
+        format!("{}-{}", self.point.api.name(), self.point.oclass)
+    }
+}
+
+/// The paper's testbed parameters for one sweep point.
+pub fn paper_cluster(client_nodes: u32) -> ClusterConfig {
+    ClusterConfig::nextgenio(client_nodes)
+}
+
+/// The paper's IOR parameters (bulk I/O: 1 MiB transfers).
+pub fn paper_params(api: Api, oclass: ObjectClass, fpp: bool, ppn: u32) -> IorParams {
+    let mut p = IorParams::paper_default(api, oclass, fpp, ppn);
+    p.block_size = 32 << 20;
+    p
+}
+
+/// Number of repetitions (distinct seeds -> distinct placements) averaged
+/// per point, like IOR's `-i` iterations in the paper's runs.
+pub const REPEATS: u64 = 5;
+
+/// Execute one point in a fresh simulation (deterministic per point);
+/// phase times are averaged over [`REPEATS`] placements.
+pub fn run_point(point: ExperimentPoint, fpp: bool, ppn: u32, seed: u64) -> Measurement {
+    let mut acc: Option<IorReport> = None;
+    for it in 0..REPEATS {
+        let mut sim = Sim::new(seed ^ ((point.client_nodes as u64) << 32) ^ (it << 56));
+        let report = sim.block_on(move |sim| async move {
+            let env = DaosTestbed::setup_salted(
+                &sim,
+                paper_cluster(point.client_nodes),
+                DfsConfig::default(),
+                DfuseConfig::default(),
+                it,
+            )
+            .await
+            .expect("testbed setup");
+            let params = paper_params(point.api, point.oclass, fpp, ppn);
+            run(&sim, &env, params).await.expect("ior run")
+        });
+        acc = Some(match acc {
+            None => report,
+            Some(a) => IorReport {
+                write_time: a.write_time + report.write_time,
+                read_time: a.read_time + report.read_time,
+                ..a
+            },
+        });
+    }
+    let mut report = acc.unwrap();
+    report.write_time = report.write_time / REPEATS;
+    report.read_time = report.read_time / REPEATS;
+    Measurement { point, report }
+}
+
+/// Run every point, parallel across host threads, ordered output.
+pub fn run_sweep(points: Vec<ExperimentPoint>, fpp: bool, ppn: u32, seed: u64) -> Vec<Measurement> {
+    let n_threads = std::thread::available_parallelism()
+        .map(|p| p.get())
+        .unwrap_or(4)
+        .min(points.len().max(1));
+    let mut results: Vec<Option<Measurement>> = (0..points.len()).map(|_| None).collect();
+    let next = std::sync::atomic::AtomicUsize::new(0);
+    let slots: Vec<std::sync::Mutex<Option<Measurement>>> =
+        results.iter().map(|_| std::sync::Mutex::new(None)).collect();
+    crossbeam::scope(|scope| {
+        for _ in 0..n_threads {
+            scope.spawn(|_| loop {
+                let i = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                if i >= points.len() {
+                    break;
+                }
+                let m = run_point(points[i], fpp, ppn, seed);
+                *slots[i].lock().unwrap() = Some(m);
+            });
+        }
+    })
+    .expect("sweep threads");
+    for (i, slot) in slots.into_iter().enumerate() {
+        results[i] = slot.into_inner().unwrap();
+    }
+    results.into_iter().map(|m| m.expect("point ran")).collect()
+}
+
+/// Emit a figure as CSV: `series,client_nodes,write_gib_s,read_gib_s`.
+pub fn print_csv(title: &str, ms: &[Measurement]) {
+    println!("# {title}");
+    println!("series,client_nodes,write_gib_s,read_gib_s");
+    for m in ms {
+        println!(
+            "{},{},{:.3},{:.3}",
+            m.series(),
+            m.point.client_nodes,
+            m.report.write_gib_s(),
+            m.report.read_gib_s()
+        );
+    }
+}
+
+/// Group measurements into series -> (client_nodes -> bandwidth).
+pub fn series_table(ms: &[Measurement], read: bool) -> BTreeMap<String, BTreeMap<u32, f64>> {
+    let mut out: BTreeMap<String, BTreeMap<u32, f64>> = BTreeMap::new();
+    for m in ms {
+        let bw = if read {
+            m.report.read_gib_s()
+        } else {
+            m.report.write_gib_s()
+        };
+        out.entry(m.series())
+            .or_default()
+            .insert(m.point.client_nodes, bw);
+    }
+    out
+}
+
+/// Render a rough ASCII chart (one row per series per scale).
+pub fn print_ascii_chart(title: &str, ms: &[Measurement], read: bool) {
+    let table = series_table(ms, read);
+    let max = table
+        .values()
+        .flat_map(|s| s.values())
+        .fold(0.0f64, |a, &b| a.max(b))
+        .max(1e-9);
+    println!("\n== {title} ({}) ==", if read { "read" } else { "write" });
+    for (series, pts) in &table {
+        println!("{series}");
+        for (nodes, bw) in pts {
+            let bar = "#".repeat(((bw / max) * 50.0).round() as usize);
+            println!("  {nodes:>3} nodes | {bar:<50} {bw:7.2} GiB/s");
+        }
+    }
+}
+
+/// Simple shape assertions used by binaries to self-check against the
+/// paper's qualitative results; prints PASS/FAIL rather than panicking.
+pub fn check(label: &str, ok: bool) {
+    println!("[{}] {label}", if ok { "PASS" } else { "FAIL" });
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use daos_sim::time::SimDuration;
+
+    fn meas(api: Api, class: ObjectClass, nodes: u32, wr: f64, rd: f64) -> Measurement {
+        let gib = (1u64 << 30) as f64;
+        Measurement {
+            point: ExperimentPoint {
+                api,
+                oclass: class,
+                client_nodes: nodes,
+            },
+            report: IorReport {
+                ranks: nodes * 16,
+                client_nodes: nodes,
+                total_bytes: 1 << 30,
+                bytes_written: 1 << 30,
+                bytes_read: 1 << 30,
+                write_time: SimDuration::from_secs_f64(1.0 / wr * (1u64 << 30) as f64 / gib),
+                read_time: SimDuration::from_secs_f64(1.0 / rd * (1u64 << 30) as f64 / gib),
+            },
+        }
+    }
+
+    #[test]
+    fn series_labels_match_paper_legend() {
+        let m = meas(Api::Dfs, ObjectClass::S2, 4, 10.0, 20.0);
+        assert_eq!(m.series(), "DFS-S2");
+        let m = meas(Api::Hdf5, ObjectClass::SX, 4, 1.0, 1.0);
+        assert_eq!(m.series(), "HDF5-SX");
+    }
+
+    #[test]
+    fn series_table_groups_and_selects_phase() {
+        let ms = vec![
+            meas(Api::Dfs, ObjectClass::S1, 1, 5.0, 9.0),
+            meas(Api::Dfs, ObjectClass::S1, 2, 10.0, 18.0),
+            meas(Api::Dfs, ObjectClass::S2, 1, 6.0, 11.0),
+        ];
+        let wr = series_table(&ms, false);
+        assert_eq!(wr.len(), 2);
+        assert!((wr["DFS-S1"][&2] - 10.0).abs() < 0.1);
+        let rd = series_table(&ms, true);
+        assert!((rd["DFS-S2"][&1] - 11.0).abs() < 0.1);
+    }
+
+    #[test]
+    fn paper_params_are_bulk_io() {
+        let p = paper_params(Api::Dfs, ObjectClass::S2, true, 16);
+        assert_eq!(p.transfer_size, 1 << 20);
+        assert_eq!(p.block_size % p.transfer_size, 0);
+        assert!(p.file_per_process);
+    }
+}

@@ -1,0 +1,1001 @@
+//! `libdaos` for applications: pool/container handles and the object APIs.
+//!
+//! Clients compute shard placement locally from the pool map (DAOS's
+//! algorithmic placement) and talk directly to the engine holding each
+//! shard. Two object APIs are provided, mirroring `daos_kv`/`daos_array`:
+//!
+//! * [`KvHandle`] — flat key → value;
+//! * [`ArrayHandle`] — a byte array chunked over the object's shards
+//!   (`chunk_size` bytes per dkey, dkeys round-robined across shards),
+//!   which is what DFS files are built on.
+
+use std::rc::Rc;
+
+use daos_fabric::NodeId;
+use daos_placement::{place, splitmix64, Layout, ObjectClass, ObjectId};
+use daos_sim::executor::join_all;
+use daos_sim::Sim;
+use daos_vos::tree::ReadSeg;
+use daos_vos::{key, Epoch, Key, Payload};
+
+use crate::cluster::Cluster;
+use crate::proto::{DaosError, Request, Response};
+use crate::ContId;
+
+/// Read "latest" epoch sentinel.
+pub const EPOCH_LATEST: Epoch = Epoch::MAX;
+
+/// A client process bound to a client node's fabric port.
+#[derive(Clone)]
+pub struct DaosClient {
+    cluster: Rc<Cluster>,
+    node: NodeId,
+}
+
+impl DaosClient {
+    /// A client on client node `client_node_idx` (0-based).
+    pub fn new(cluster: Rc<Cluster>, client_node_idx: u32) -> Self {
+        let node = cluster.client_node(client_node_idx);
+        DaosClient { cluster, node }
+    }
+
+    /// The cluster this client talks to.
+    pub fn cluster(&self) -> &Rc<Cluster> {
+        &self.cluster
+    }
+    /// The fabric node this client injects from.
+    pub fn node(&self) -> NodeId {
+        self.node
+    }
+
+    /// Issue one RPC to engine `engine_idx`.
+    pub async fn call(&self, sim: &Sim, engine_idx: u32, req: Request) -> Result<Response, DaosError> {
+        let bulk = req.bulk_in();
+        self.cluster
+            .engine(engine_idx)
+            .endpoint()
+            .call(sim, self.node, req, bulk)
+            .await
+            .map_err(|_| DaosError::Transport)
+    }
+
+    /// Control-plane RPC: retries across pool-service replicas following
+    /// `NotLeader` hints until the service answers (it may still return a
+    /// semantic error such as `ContainerExists`).
+    pub async fn control(&self, sim: &Sim, req: Request) -> Result<Response, DaosError> {
+        let svc = self.cluster.replicas().len().max(1) as u32;
+        let mut engine = 0u32;
+        for _attempt in 0..200 {
+            match self.call(sim, engine, req.clone()).await? {
+                Response::Err(DaosError::NotLeader { hint }) => {
+                    engine = match hint {
+                        // raft ids are engine index + 1
+                        Some(id) if id >= 1 && id <= svc as u64 => (id - 1) as u32,
+                        _ => (engine + 1) % svc,
+                    };
+                    sim.sleep_ms(2).await;
+                }
+                other => return Ok(other),
+            }
+        }
+        Err(DaosError::Other("pool service never elected a leader".into()))
+    }
+
+    /// Connect to the pool (waits for the pool service to be up).
+    pub async fn connect(&self, sim: &Sim) -> Result<PoolHandle, DaosError> {
+        match self.control(sim, Request::PoolConnect).await? {
+            Response::Connected { .. } => Ok(PoolHandle {
+                client: self.clone(),
+            }),
+            Response::Err(e) => Err(e),
+            other => Err(DaosError::Other(format!("unexpected: {other:?}"))),
+        }
+    }
+}
+
+/// An open pool connection.
+#[derive(Clone)]
+pub struct PoolHandle {
+    client: DaosClient,
+}
+
+impl PoolHandle {
+    /// Create a container (error if it exists).
+    pub async fn create_container(&self, sim: &Sim, cont: ContId) -> Result<ContainerHandle, DaosError> {
+        self.client
+            .control(sim, Request::ContCreate { cont })
+            .await?
+            .ok()?;
+        Ok(self.handle(cont))
+    }
+
+    /// Open an existing container.
+    pub async fn open_container(&self, sim: &Sim, cont: ContId) -> Result<ContainerHandle, DaosError> {
+        self.client
+            .control(sim, Request::ContOpen { cont })
+            .await?
+            .ok()?;
+        Ok(self.handle(cont))
+    }
+
+    /// Open-or-create (what `dfs_mount` does).
+    pub async fn open_or_create(&self, sim: &Sim, cont: ContId) -> Result<ContainerHandle, DaosError> {
+        match self.create_container(sim, cont).await {
+            Ok(h) => Ok(h),
+            Err(DaosError::ContainerExists(_)) => self.open_container(sim, cont).await,
+            Err(e) => Err(e),
+        }
+    }
+
+    /// Destroy a container.
+    pub async fn destroy_container(&self, sim: &Sim, cont: ContId) -> Result<(), DaosError> {
+        self.client
+            .control(sim, Request::ContDestroy { cont })
+            .await?
+            .ok()
+    }
+
+    fn handle(&self, cont: ContId) -> ContainerHandle {
+        ContainerHandle {
+            client: self.client.clone(),
+            cont,
+        }
+    }
+}
+
+/// An open container.
+#[derive(Clone)]
+pub struct ContainerHandle {
+    client: DaosClient,
+    cont: ContId,
+}
+
+impl ContainerHandle {
+    /// The container id.
+    pub fn id(&self) -> ContId {
+        self.cont
+    }
+    /// The client this handle rides on.
+    pub fn client(&self) -> &DaosClient {
+        &self.client
+    }
+
+    /// Capture a container snapshot: an epoch at or above every update
+    /// completed so far (queried from every target, like
+    /// `daos_cont_create_snap`). Reads at this epoch see exactly the data
+    /// present now, regardless of later overwrites.
+    pub async fn snapshot(&self, sim: &Sim) -> Result<Epoch, DaosError> {
+        let cluster = self.client.cluster.clone();
+        let tpe = cluster.cfg.targets_per_engine;
+        let futs: Vec<_> = (0..cluster.cfg.engine_count() * tpe)
+            .map(|t| {
+                let client = self.client.clone();
+                let sim = sim.clone();
+                async move {
+                    client
+                        .call(&sim, t / tpe, Request::QueryEpoch { target: t % tpe })
+                        .await
+                }
+            })
+            .collect();
+        let mut max = 0;
+        for r in join_all(sim, futs).await {
+            match r? {
+                Response::Epoch(e) => max = max.max(e),
+                Response::Err(e) => return Err(e),
+                other => return Err(DaosError::Other(format!("unexpected: {other:?}"))),
+            }
+        }
+        Ok(max)
+    }
+
+    /// Open an object with a class; computes the layout client-side.
+    pub fn object(&self, oid: ObjectId, class: ObjectClass) -> ObjectHandle {
+        let layout = place(oid, class, &self.client.cluster.pool_map());
+        ObjectHandle {
+            cont: self.clone(),
+            oid,
+            layout,
+        }
+    }
+}
+
+/// An open object: the unit of placement.
+#[derive(Clone)]
+pub struct ObjectHandle {
+    cont: ContainerHandle,
+    oid: ObjectId,
+    layout: Layout,
+}
+
+impl ObjectHandle {
+    /// The object id.
+    pub fn oid(&self) -> ObjectId {
+        self.oid
+    }
+    /// The object's computed layout.
+    pub fn layout(&self) -> &Layout {
+        &self.layout
+    }
+
+    fn route(&self, shard: u32) -> (u32, u32) {
+        let t = self.layout.target_of(shard);
+        let tpe = self.cont.client.cluster.cfg.targets_per_engine;
+        (t / tpe, t % tpe)
+    }
+
+    fn shard_of_dkey(&self, dkey: &Key) -> u32 {
+        let mut h = 0xcbf29ce484222325u64;
+        for &b in dkey {
+            h = (h ^ b as u64).wrapping_mul(0x100000001b3);
+        }
+        (splitmix64(h) % self.layout.width() as u64) as u32
+    }
+
+    /// Raw update of an array akey (most callers use [`ArrayHandle`]).
+    pub async fn update(
+        &self,
+        sim: &Sim,
+        dkey: Key,
+        akey: Key,
+        offset: u64,
+        data: Payload,
+    ) -> Result<Epoch, DaosError> {
+        let shard = self.shard_of_dkey(&dkey);
+        let (engine, target) = self.route(shard);
+        let rsp = self
+            .cont
+            .client
+            .call(
+                sim,
+                engine,
+                Request::UpdateArray {
+                    target,
+                    cont: self.cont.cont,
+                    oid: self.oid,
+                    dkey,
+                    akey,
+                    offset,
+                    data,
+                },
+            )
+            .await?;
+        match rsp {
+            Response::Written { epoch } => Ok(epoch),
+            Response::Err(e) => Err(e),
+            other => Err(DaosError::Other(format!("unexpected: {other:?}"))),
+        }
+    }
+
+    /// Raw fetch of an array akey.
+    pub async fn fetch(
+        &self,
+        sim: &Sim,
+        dkey: Key,
+        akey: Key,
+        offset: u64,
+        len: u64,
+        epoch: Epoch,
+    ) -> Result<Vec<ReadSeg>, DaosError> {
+        let shard = self.shard_of_dkey(&dkey);
+        let (engine, target) = self.route(shard);
+        let rsp = self
+            .cont
+            .client
+            .call(
+                sim,
+                engine,
+                Request::FetchArray {
+                    target,
+                    cont: self.cont.cont,
+                    oid: self.oid,
+                    dkey,
+                    akey,
+                    offset,
+                    len,
+                    epoch,
+                },
+            )
+            .await?;
+        match rsp {
+            Response::Fetched { segs } => Ok(segs),
+            Response::Err(e) => Err(e),
+            other => Err(DaosError::Other(format!("unexpected: {other:?}"))),
+        }
+    }
+
+    /// Punch the object on every shard (unlink).
+    pub async fn punch(&self, sim: &Sim) -> Result<(), DaosError> {
+        let width = self.layout.width();
+        let futs: Vec<_> = (0..width)
+            .map(|s| {
+                let this = self.clone();
+                let sim = sim.clone();
+                async move {
+                    let (engine, target) = this.route(s);
+                    this.cont
+                        .client
+                        .call(
+                            &sim,
+                            engine,
+                            Request::PunchObject {
+                                target,
+                                cont: this.cont.cont,
+                                oid: this.oid,
+                            },
+                        )
+                        .await
+                        .and_then(|r| r.ok())
+                }
+            })
+            .collect();
+        for r in join_all(sim, futs).await {
+            r?;
+        }
+        Ok(())
+    }
+
+    /// Enumerate dkeys across all shards, merged and sorted.
+    pub async fn list_dkeys(&self, sim: &Sim) -> Result<Vec<Key>, DaosError> {
+        let width = self.layout.width();
+        let futs: Vec<_> = (0..width)
+            .map(|s| {
+                let this = self.clone();
+                let sim = sim.clone();
+                async move {
+                    let (engine, target) = this.route(s);
+                    this.cont
+                        .client
+                        .call(
+                            &sim,
+                            engine,
+                            Request::ListDkeys {
+                                target,
+                                cont: this.cont.cont,
+                                oid: this.oid,
+                            },
+                        )
+                        .await
+                }
+            })
+            .collect();
+        let mut keys = Vec::new();
+        for r in join_all(sim, futs).await {
+            match r? {
+                Response::Dkeys(mut ks) => keys.append(&mut ks),
+                Response::Err(e) => return Err(e),
+                other => return Err(DaosError::Other(format!("unexpected: {other:?}"))),
+            }
+        }
+        keys.sort();
+        keys.dedup();
+        Ok(keys)
+    }
+
+    /// Key-value view of this object (`daos_kv`).
+    pub fn kv(&self) -> KvHandle {
+        KvHandle { obj: self.clone() }
+    }
+
+    /// Byte-array view with the given chunk size (`daos_array`).
+    pub fn array(&self, chunk_size: u64) -> ArrayHandle {
+        assert!(chunk_size > 0);
+        ArrayHandle {
+            obj: self.clone(),
+            chunk_size,
+        }
+    }
+}
+
+/// `daos_kv`-style flat key/value API.
+#[derive(Clone)]
+pub struct KvHandle {
+    obj: ObjectHandle,
+}
+
+impl KvHandle {
+    /// Upsert `value` under `k`.
+    pub async fn put(&self, sim: &Sim, k: impl AsRef<[u8]>, value: Payload) -> Result<(), DaosError> {
+        let dkey = key(k);
+        let shard = self.obj.shard_of_dkey(&dkey);
+        let (engine, target) = self.obj.route(shard);
+        self.obj
+            .cont
+            .client
+            .call(
+                sim,
+                engine,
+                Request::UpdateSingle {
+                    target,
+                    cont: self.obj.cont.cont,
+                    oid: self.obj.oid,
+                    dkey,
+                    akey: key("v"),
+                    value,
+                },
+            )
+            .await?
+            .ok()
+    }
+
+    /// Fetch the value under `k` (latest).
+    pub async fn get(&self, sim: &Sim, k: impl AsRef<[u8]>) -> Result<Option<Payload>, DaosError> {
+        let dkey = key(k);
+        let shard = self.obj.shard_of_dkey(&dkey);
+        let (engine, target) = self.obj.route(shard);
+        let rsp = self
+            .obj
+            .cont
+            .client
+            .call(
+                sim,
+                engine,
+                Request::FetchSingle {
+                    target,
+                    cont: self.obj.cont.cont,
+                    oid: self.obj.oid,
+                    dkey,
+                    akey: key("v"),
+                    epoch: EPOCH_LATEST,
+                },
+            )
+            .await?;
+        match rsp {
+            Response::Single(v) => Ok(v),
+            Response::Err(e) => Err(e),
+            other => Err(DaosError::Other(format!("unexpected: {other:?}"))),
+        }
+    }
+
+    /// List keys.
+    pub async fn list(&self, sim: &Sim) -> Result<Vec<Key>, DaosError> {
+        self.obj.list_dkeys(sim).await
+    }
+}
+
+/// `daos_array`-style byte-array API: the array is chunked at `chunk_size`;
+/// chunk `i` is dkey `i` (big-endian), placed on a shard chosen by dkey
+/// hash (jump consistent hash), as `libdaos` does.
+#[derive(Clone)]
+pub struct ArrayHandle {
+    obj: ObjectHandle,
+    chunk_size: u64,
+}
+
+impl ArrayHandle {
+    /// The underlying object handle.
+    pub fn object(&self) -> &ObjectHandle {
+        &self.obj
+    }
+    /// The array's chunk size.
+    pub fn chunk_size(&self) -> u64 {
+        self.chunk_size
+    }
+
+    fn chunk_dkey(chunk: u64) -> Key {
+        chunk.to_be_bytes().to_vec()
+    }
+
+    /// Redundancy-group width (1 for plain sharding, r for RP_r, k+p for EC).
+    fn group_width(&self) -> u32 {
+        self.obj.layout.class.group_width()
+    }
+
+    /// Number of redundancy groups in the layout.
+    fn group_count(&self) -> u32 {
+        (self.obj.layout.width() / self.group_width()).max(1)
+    }
+
+    /// The redundancy group a chunk belongs to.
+    ///
+    /// DAOS routes array chunks by dkey hash, not round-robin: the spread
+    /// is statistical, which is what makes wide classes blow the engines'
+    /// stream windows in file-per-process workloads.
+    fn group_of_chunk(&self, chunk: u64) -> u32 {
+        let h = splitmix64(chunk ^ self.obj.oid.mix().rotate_left(23));
+        daos_placement::jump_consistent_hash(h, self.group_count())
+    }
+
+    /// Shard indices of redundancy group `g`.
+    fn shards_of_group(&self, g: u32) -> std::ops::Range<u32> {
+        let w = self.group_width();
+        g * w..(g + 1) * w
+    }
+
+    /// Is the target behind `shard` excluded from the current pool map?
+    fn shard_excluded(&self, shard: u32) -> bool {
+        let t = self.obj.layout.target_of(shard);
+        self.obj.cont.client.cluster.pool_map().is_excluded(t)
+    }
+
+    /// Raw single-shard update of chunk data at a chunk-relative offset.
+    async fn update_shard(
+        &self,
+        sim: &Sim,
+        shard: u32,
+        chunk: u64,
+        offset: u64,
+        data: Payload,
+    ) -> Result<(), DaosError> {
+        let (engine, target) = self.obj.route(shard);
+        self.obj
+            .cont
+            .client
+            .call(
+                sim,
+                engine,
+                Request::UpdateArray {
+                    target,
+                    cont: self.obj.cont.cont,
+                    oid: self.obj.oid,
+                    dkey: Self::chunk_dkey(chunk),
+                    akey: key("0"),
+                    offset,
+                    data,
+                },
+            )
+            .await?
+            .ok()
+    }
+
+    /// Raw single-shard fetch; segments come back shard-relative.
+    async fn fetch_shard(
+        &self,
+        sim: &Sim,
+        shard: u32,
+        chunk: u64,
+        offset: u64,
+        len: u64,
+    ) -> Result<Vec<ReadSeg>, DaosError> {
+        let (engine, target) = self.obj.route(shard);
+        let rsp = self
+            .obj
+            .cont
+            .client
+            .call(
+                sim,
+                engine,
+                Request::FetchArray {
+                    target,
+                    cont: self.obj.cont.cont,
+                    oid: self.obj.oid,
+                    dkey: Self::chunk_dkey(chunk),
+                    akey: key("0"),
+                    offset,
+                    len,
+                    epoch: EPOCH_LATEST,
+                },
+            )
+            .await?;
+        match rsp {
+            Response::Fetched { segs } => Ok(segs),
+            Response::Err(e) => Err(e),
+            other => Err(DaosError::Other(format!("unexpected: {other:?}"))),
+        }
+    }
+
+    /// Materialise shard-relative segments into `len` bytes (holes = 0).
+    fn flatten(segs: &[ReadSeg], base: u64, len: u64) -> Vec<u8> {
+        let mut out = vec![0u8; len as usize];
+        for s in segs {
+            if let Some(d) = &s.data {
+                let m = d.materialize();
+                let start = (s.offset - base) as usize;
+                out[start..start + s.len as usize].copy_from_slice(&m);
+            }
+        }
+        out
+    }
+
+    /// Write one piece of one chunk through the object's protection class.
+    async fn write_piece(
+        &self,
+        sim: &Sim,
+        chunk: u64,
+        in_chunk: u64,
+        piece: Payload,
+    ) -> Result<(), DaosError> {
+        let group = self.shards_of_group(self.group_of_chunk(chunk));
+        match self.obj.layout.class {
+            ObjectClass::Sharded(_) | ObjectClass::ShardedMax => {
+                self.update_shard(sim, group.start, chunk, in_chunk, piece)
+                    .await
+            }
+            ObjectClass::Replicated { .. } => {
+                // fan the identical piece out to every replica of the group
+                let futs: Vec<_> = group
+                    .map(|shard| {
+                        let this = self.clone();
+                        let sim = sim.clone();
+                        let data = piece.clone();
+                        async move { this.update_shard(&sim, shard, chunk, in_chunk, data).await }
+                    })
+                    .collect();
+                for r in join_all(sim, futs).await {
+                    r?;
+                }
+                Ok(())
+            }
+            ObjectClass::ErasureCoded { data: k, parity: p, .. } => {
+                let (k, p) = (k as u64, p as u64);
+                if self.chunk_size % k != 0 {
+                    return Err(DaosError::Other(
+                        "EC arrays need chunk_size divisible by k".into(),
+                    ));
+                }
+                let cell = self.chunk_size / k;
+                if in_chunk % cell != 0 || piece.len() % cell != 0 {
+                    return Err(DaosError::Other(format!(
+                        "EC arrays require cell-aligned I/O (cell = {cell} bytes)"
+                    )));
+                }
+                let first_cell = in_chunk / cell;
+                let n_cells = piece.len() / cell;
+                // write the data cells
+                let futs: Vec<_> = (0..n_cells)
+                    .map(|i| {
+                        let this = self.clone();
+                        let sim = sim.clone();
+                        let shard = group.start + (first_cell + i) as u32;
+                        let data = piece.slice(i * cell, cell);
+                        async move { this.update_shard(&sim, shard, chunk, 0, data).await }
+                    })
+                    .collect();
+                for r in join_all(sim, futs).await {
+                    r?;
+                }
+                // parity = XOR over the stripe; read-modify-write any cells
+                // this piece did not cover
+                let mut stripe: Vec<Vec<u8>> = Vec::with_capacity(k as usize);
+                for c in 0..k {
+                    if c >= first_cell && c < first_cell + n_cells {
+                        stripe.push(
+                            piece
+                                .slice((c - first_cell) * cell, cell)
+                                .materialize()
+                                .to_vec(),
+                        );
+                    } else {
+                        let segs = self
+                            .fetch_shard(sim, group.start + c as u32, chunk, 0, cell)
+                            .await?;
+                        stripe.push(Self::flatten(&segs, 0, cell));
+                    }
+                }
+                let mut parity = vec![0u8; cell as usize];
+                for row in &stripe {
+                    for (o, b) in parity.iter_mut().zip(row) {
+                        *o ^= b;
+                    }
+                }
+                let futs: Vec<_> = (0..p)
+                    .map(|j| {
+                        let this = self.clone();
+                        let sim = sim.clone();
+                        let shard = group.start + (k + j) as u32;
+                        let data = Payload::bytes(parity.clone());
+                        async move { this.update_shard(&sim, shard, chunk, 0, data).await }
+                    })
+                    .collect();
+                for r in join_all(sim, futs).await {
+                    r?;
+                }
+                Ok(())
+            }
+        }
+    }
+
+    /// Read one piece of one chunk through the protection class; returns
+    /// chunk-relative segments. Survives excluded targets where the class
+    /// has redundancy (degraded read / EC reconstruction).
+    async fn read_piece(
+        &self,
+        sim: &Sim,
+        chunk: u64,
+        in_chunk: u64,
+        len: u64,
+    ) -> Result<Vec<ReadSeg>, DaosError> {
+        let group = self.shards_of_group(self.group_of_chunk(chunk));
+        match self.obj.layout.class {
+            ObjectClass::Sharded(_) | ObjectClass::ShardedMax => {
+                self.fetch_shard(sim, group.start, chunk, in_chunk, len).await
+            }
+            ObjectClass::Replicated { replicas, .. } => {
+                // spread reads over replicas; skip excluded targets
+                let r = replicas as u64;
+                for attempt in 0..r {
+                    let shard = group.start + ((chunk + attempt) % r) as u32;
+                    if self.shard_excluded(shard) {
+                        continue;
+                    }
+                    return self.fetch_shard(sim, shard, chunk, in_chunk, len).await;
+                }
+                Err(DaosError::Other("all replicas excluded".into()))
+            }
+            ObjectClass::ErasureCoded { data: k, parity: p, .. } => {
+                let (k, p) = (k as u64, p as u64);
+                let cell = self.chunk_size / k;
+                let first_cell = in_chunk / cell;
+                let last_cell = (in_chunk + len - 1) / cell;
+                let mut out: Vec<ReadSeg> = Vec::new();
+                for c in first_cell..=last_cell {
+                    let cell_lo = (c * cell).max(in_chunk);
+                    let cell_hi = ((c + 1) * cell).min(in_chunk + len);
+                    let want_off = cell_lo - c * cell;
+                    let want_len = cell_hi - cell_lo;
+                    let shard = group.start + c as u32;
+                    if !self.shard_excluded(shard) {
+                        let segs = self
+                            .fetch_shard(sim, shard, chunk, want_off, want_len)
+                            .await?;
+                        out.extend(segs.into_iter().map(|s| ReadSeg {
+                            offset: c * cell + s.offset,
+                            len: s.len,
+                            data: s.data,
+                        }));
+                        continue;
+                    }
+                    // degraded: reconstruct the cell from survivors + parity
+                    let mut acc = vec![0u8; cell as usize];
+                    let mut recovered = false;
+                    for other in 0..k {
+                        if other == c {
+                            continue;
+                        }
+                        let segs = self
+                            .fetch_shard(sim, group.start + other as u32, chunk, 0, cell)
+                            .await?;
+                        for (o, b) in acc.iter_mut().zip(Self::flatten(&segs, 0, cell)) {
+                            *o ^= b;
+                        }
+                    }
+                    for j in 0..p {
+                        let pshard = group.start + (k + j) as u32;
+                        if self.shard_excluded(pshard) {
+                            continue;
+                        }
+                        let segs = self.fetch_shard(sim, pshard, chunk, 0, cell).await?;
+                        for (o, b) in acc.iter_mut().zip(Self::flatten(&segs, 0, cell)) {
+                            *o ^= b;
+                        }
+                        recovered = true;
+                        break;
+                    }
+                    if !recovered {
+                        return Err(DaosError::Other(
+                            "EC group lost more shards than parity covers".into(),
+                        ));
+                    }
+                    out.push(ReadSeg {
+                        offset: cell_lo,
+                        len: want_len,
+                        data: Some(Payload::bytes(
+                            acc[want_off as usize..(want_off + want_len) as usize].to_vec(),
+                        )),
+                    });
+                }
+                Ok(out)
+            }
+        }
+    }
+
+    /// Split `[offset, offset+len)` into per-chunk pieces:
+    /// `(chunk, offset_in_chunk, piece_offset_in_request, piece_len)`.
+    fn pieces(&self, offset: u64, len: u64) -> Vec<(u64, u64, u64, u64)> {
+        let mut out = Vec::new();
+        let mut cur = offset;
+        let end = offset + len;
+        while cur < end {
+            let chunk = cur / self.chunk_size;
+            let in_chunk = cur % self.chunk_size;
+            let take = (self.chunk_size - in_chunk).min(end - cur);
+            out.push((chunk, in_chunk, cur - offset, take));
+            cur += take;
+        }
+        out
+    }
+
+    /// Write `data` at byte `offset`; chunks are written concurrently
+    /// (libdaos event-queue style).
+    pub async fn write(&self, sim: &Sim, offset: u64, data: Payload) -> Result<(), DaosError> {
+        let pieces = self.pieces(offset, data.len());
+        let futs: Vec<_> = pieces
+            .into_iter()
+            .map(|(chunk, in_chunk, src_off, len)| {
+                let this = self.clone();
+                let sim = sim.clone();
+                let piece = data.slice(src_off, len);
+                async move { this.write_piece(&sim, chunk, in_chunk, piece).await }
+            })
+            .collect();
+        for r in join_all(sim, futs).await {
+            r?;
+        }
+        Ok(())
+    }
+
+    /// Read `[offset, offset+len)` as of a container snapshot epoch.
+    ///
+    /// Only supported for unprotected classes (snapshots of replicated/EC
+    /// data read the primary). Writes after the snapshot are invisible.
+    pub async fn read_at_epoch(
+        &self,
+        sim: &Sim,
+        offset: u64,
+        len: u64,
+        epoch: Epoch,
+    ) -> Result<Vec<ReadSeg>, DaosError> {
+        let pieces = self.pieces(offset, len);
+        let mut segs = Vec::new();
+        for (chunk, in_chunk, _src, plen) in pieces {
+            let group = self.shards_of_group(self.group_of_chunk(chunk));
+            let (engine, target) = self.obj.route(group.start);
+            let rsp = self
+                .obj
+                .cont
+                .client
+                .call(
+                    sim,
+                    engine,
+                    Request::FetchArray {
+                        target,
+                        cont: self.obj.cont.cont,
+                        oid: self.obj.oid,
+                        dkey: Self::chunk_dkey(chunk),
+                        akey: key("0"),
+                        offset: in_chunk,
+                        len: plen,
+                        epoch,
+                    },
+                )
+                .await?;
+            match rsp {
+                Response::Fetched { segs: s } => {
+                    let base = chunk * self.chunk_size;
+                    segs.extend(s.into_iter().map(|x| ReadSeg {
+                        offset: base + x.offset,
+                        len: x.len,
+                        data: x.data,
+                    }));
+                }
+                Response::Err(e) => return Err(e),
+                other => return Err(DaosError::Other(format!("unexpected: {other:?}"))),
+            }
+        }
+        segs.sort_by_key(|s| s.offset);
+        Ok(segs)
+    }
+
+    /// Read `len` bytes at `offset` (latest); unwritten ranges come back as
+    /// holes. Segments are returned in array-offset order.
+    pub async fn read(&self, sim: &Sim, offset: u64, len: u64) -> Result<Vec<ReadSeg>, DaosError> {
+        let pieces = self.pieces(offset, len);
+        let futs: Vec<_> = pieces
+            .into_iter()
+            .map(|(chunk, in_chunk, _src_off, plen)| {
+                let this = self.clone();
+                let sim = sim.clone();
+                async move {
+                    let segs = this.read_piece(&sim, chunk, in_chunk, plen).await?;
+                    // rebase chunk-relative offsets to array offsets
+                    let base = chunk * this.chunk_size;
+                    Ok::<_, DaosError>(
+                        segs.into_iter()
+                            .map(|s| ReadSeg {
+                                offset: base + s.offset,
+                                len: s.len,
+                                data: s.data,
+                            })
+                            .collect::<Vec<_>>(),
+                    )
+                }
+            })
+            .collect();
+        let mut segs = Vec::new();
+        for r in join_all(sim, futs).await {
+            segs.extend(r?);
+        }
+        segs.sort_by_key(|s| s.offset);
+        Ok(segs)
+    }
+
+    /// Punch (logically zero) `[offset, offset+len)`; all shards of each
+    /// affected chunk are punched so every replica stays consistent.
+    pub async fn punch(&self, sim: &Sim, offset: u64, len: u64) -> Result<(), DaosError> {
+        for (chunk, in_chunk, _src, plen) in self.pieces(offset, len) {
+            let group = self.shards_of_group(self.group_of_chunk(chunk));
+            let futs: Vec<_> = group
+                .map(|shard| {
+                    let this = self.clone();
+                    let sim = sim.clone();
+                    async move {
+                        let (engine, target) = this.obj.route(shard);
+                        this.obj
+                            .cont
+                            .client
+                            .call(
+                                &sim,
+                                engine,
+                                Request::PunchArray {
+                                    target,
+                                    cont: this.obj.cont.cont,
+                                    oid: this.obj.oid,
+                                    dkey: Self::chunk_dkey(chunk),
+                                    akey: key("0"),
+                                    offset: in_chunk,
+                                    len: plen,
+                                },
+                            )
+                            .await
+                            .and_then(|r| r.ok())
+                    }
+                })
+                .collect();
+            for r in join_all(sim, futs).await {
+                r?;
+            }
+        }
+        Ok(())
+    }
+
+    /// The array's size in bytes (highest written offset + 1), queried
+    /// from every shard like `daos_array_get_size`.
+    pub async fn size(&self, sim: &Sim) -> Result<u64, DaosError> {
+        let width = self.obj.layout.width();
+        let futs: Vec<_> = (0..width)
+            .map(|s| {
+                let this = self.clone();
+                let sim = sim.clone();
+                async move {
+                    let (engine, target) = this.obj.route(s);
+                    this.obj
+                        .cont
+                        .client
+                        .call(
+                            &sim,
+                            engine,
+                            Request::ArrayMaxChunk {
+                                target,
+                                cont: this.obj.cont.cont,
+                                oid: this.obj.oid,
+                                akey: key("0"),
+                            },
+                        )
+                        .await
+                }
+            })
+            .collect();
+        let mut size = 0u64;
+        for r in join_all(sim, futs).await {
+            match r? {
+                Response::MaxChunk(Some((dk, inner))) => {
+                    let chunk = u64::from_be_bytes(
+                        dk.as_slice().try_into().map_err(|_| {
+                            DaosError::Other("malformed chunk dkey".into())
+                        })?,
+                    );
+                    size = size.max(chunk * self.chunk_size + inner);
+                }
+                Response::MaxChunk(None) => {}
+                Response::Err(e) => return Err(e),
+                other => return Err(DaosError::Other(format!("unexpected: {other:?}"))),
+            }
+        }
+        Ok(size)
+    }
+
+    /// Read and materialise exactly `len` bytes (holes as zeroes) — test
+    /// helper; benchmarks use [`ArrayHandle::read`] to avoid allocation.
+    pub async fn read_bytes(&self, sim: &Sim, offset: u64, len: u64) -> Result<Vec<u8>, DaosError> {
+        let segs = self.read(sim, offset, len).await?;
+        let mut out = vec![0u8; len as usize];
+        for s in segs {
+            if let Some(d) = s.data {
+                let m = d.materialize();
+                let start = (s.offset - offset) as usize;
+                out[start..start + s.len as usize].copy_from_slice(&m);
+            }
+        }
+        Ok(out)
+    }
+}

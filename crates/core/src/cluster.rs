@@ -1,0 +1,201 @@
+//! Testbed builder: fabric + engines + media + pool service.
+//!
+//! The default configuration models the paper's NEXTGenIO deployment:
+//! 8 server nodes × 2 DAOS engines, each engine owning one socket's
+//! 6-DIMM Optane DCPMM interleave set and its own fabric rail (NEXTGenIO
+//! nodes have dual Omni-Path), 8 VOS targets per engine, and a 3-replica
+//! RAFT pool service.
+
+use std::cell::{Ref, RefCell};
+use std::rc::Rc;
+
+use daos_fabric::{Fabric, FabricConfig, NodeId};
+use daos_media::{Dcpmm, DcpmmConfig, MediaSet};
+use daos_placement::{PoolMap, TargetId};
+use daos_sim::time::SimDuration;
+use daos_sim::Sim;
+
+use crate::engine::{Engine, EngineConfig};
+use crate::pool::{spawn_pool_service, PoolReplica};
+
+/// Full testbed description.
+#[derive(Clone, Copy, Debug)]
+pub struct ClusterConfig {
+    /// DAOS server nodes.
+    pub server_nodes: u32,
+    /// Engines per server (one per socket).
+    pub engines_per_node: u32,
+    /// VOS targets per engine.
+    pub targets_per_engine: u32,
+    /// Client nodes attached to the fabric.
+    pub client_nodes: u32,
+    /// Media behind each engine (one interleave set per socket).
+    pub scm: DcpmmConfig,
+    /// Interconnect parameters.
+    pub fabric: FabricConfig,
+    /// Engine service parameters.
+    pub engine: EngineConfig,
+    /// Pool-service replica count.
+    pub svc_replicas: u32,
+    /// Pool-service tick interval.
+    pub svc_tick: SimDuration,
+}
+
+impl ClusterConfig {
+    /// The paper's testbed: 8 servers × 2 engines, with `client_nodes`
+    /// clients.
+    pub fn nextgenio(client_nodes: u32) -> Self {
+        ClusterConfig {
+            server_nodes: 8,
+            engines_per_node: 2,
+            targets_per_engine: 8,
+            client_nodes,
+            scm: DcpmmConfig::default(),
+            fabric: FabricConfig::default(),
+            engine: EngineConfig::default(),
+            svc_replicas: 3,
+            svc_tick: SimDuration::from_ms(5),
+        }
+    }
+
+    /// A small testbed for unit/integration tests (fast to simulate).
+    pub fn tiny(client_nodes: u32) -> Self {
+        ClusterConfig {
+            server_nodes: 2,
+            engines_per_node: 1,
+            targets_per_engine: 4,
+            client_nodes,
+            scm: DcpmmConfig::default(),
+            fabric: FabricConfig::default(),
+            engine: EngineConfig::default(),
+            svc_replicas: 1,
+            svc_tick: SimDuration::from_ms(1),
+        }
+    }
+
+    /// Total engine count.
+    pub fn engine_count(&self) -> u32 {
+        self.server_nodes * self.engines_per_node
+    }
+}
+
+/// A running simulated DAOS system.
+pub struct Cluster {
+    pub cfg: ClusterConfig,
+    pub fabric: Rc<Fabric>,
+    engines: Vec<Rc<Engine>>,
+    replicas: Vec<Rc<PoolReplica>>,
+    pool_map: RefCell<PoolMap>,
+}
+
+impl Cluster {
+    /// Build the testbed and start all server tasks.
+    ///
+    /// Fabric node layout: engines occupy nodes `0..E` (each engine has its
+    /// own rail); client node `i` is fabric node `E + i`.
+    pub fn build(sim: &Sim, cfg: ClusterConfig) -> Rc<Cluster> {
+        let n_engines = cfg.engine_count();
+        let fabric = Fabric::new((n_engines + cfg.client_nodes) as usize, cfg.fabric);
+        let engines: Vec<Rc<Engine>> = (0..n_engines)
+            .map(|i| {
+                let scm = Dcpmm::new(&format!("engine{i}.pmem"), cfg.scm);
+                let media = MediaSet::scm_only(scm);
+                Engine::spawn(
+                    sim,
+                    Rc::clone(&fabric),
+                    i as NodeId,
+                    i,
+                    media,
+                    cfg.targets_per_engine,
+                    cfg.engine,
+                )
+            })
+            .collect();
+
+        // pool service on the first `svc_replicas` engines; raft ids are
+        // engine index + 1 (raft ids are nonzero by convention)
+        let members: Vec<(u64, NodeId, crate::engine::ControlQueue)> = engines
+            .iter()
+            .take(cfg.svc_replicas.max(1) as usize)
+            .map(|e| (e.index() as u64 + 1, e.node(), e.attach_replica()))
+            .collect();
+        let replicas = spawn_pool_service(
+            sim,
+            &fabric,
+            members,
+            n_engines,
+            cfg.targets_per_engine,
+            cfg.svc_tick,
+        );
+
+        let pool_map = RefCell::new(PoolMap::new(n_engines, cfg.targets_per_engine));
+        Rc::new(Cluster {
+            cfg,
+            fabric,
+            engines,
+            replicas,
+            pool_map,
+        })
+    }
+
+    /// The pool map (placement input).
+    pub fn pool_map(&self) -> Ref<'_, PoolMap> {
+        self.pool_map.borrow()
+    }
+
+    /// Administratively exclude a target (simulated failure / drain);
+    /// bumps the map version. Object handles opened afterwards avoid it;
+    /// handles opened before read degraded through their protection class.
+    pub fn exclude_target(&self, t: TargetId) {
+        self.pool_map.borrow_mut().exclude(t);
+    }
+
+    /// Reintegrate a previously excluded target.
+    pub fn reintegrate_target(&self, t: TargetId) {
+        self.pool_map.borrow_mut().reintegrate(t);
+    }
+    /// All engines.
+    pub fn engines(&self) -> &[Rc<Engine>] {
+        &self.engines
+    }
+    /// Engine by index.
+    pub fn engine(&self, idx: u32) -> &Rc<Engine> {
+        &self.engines[idx as usize]
+    }
+    /// Pool-service replicas (tests).
+    pub fn replicas(&self) -> &[Rc<PoolReplica>] {
+        &self.replicas
+    }
+    /// Engine indices hosting pool-service replicas.
+    pub fn svc_engines(&self) -> Vec<u32> {
+        (0..self.replicas.len() as u32).collect()
+    }
+
+    /// Fabric node of client node `i`.
+    pub fn client_node(&self, i: u32) -> NodeId {
+        assert!(i < self.cfg.client_nodes, "client node {i} out of range");
+        (self.cfg.engine_count() + i) as NodeId
+    }
+
+    /// Resolve a global target id to `(engine, local target index)`.
+    pub fn resolve_target(&self, t: TargetId) -> (&Rc<Engine>, u32) {
+        let e = t / self.cfg.targets_per_engine;
+        (&self.engines[e as usize], t % self.cfg.targets_per_engine)
+    }
+
+    /// Aggregate bytes written across all VOS targets.
+    pub fn total_bytes_written(&self) -> u64 {
+        self.engines
+            .iter()
+            .flat_map(|e| (0..e.target_count()).map(move |t| e.target(t).counters().bytes_written))
+            .sum()
+    }
+
+    /// Aggregate bytes read across all VOS targets.
+    pub fn total_bytes_read(&self) -> u64 {
+        self.engines
+            .iter()
+            .flat_map(|e| (0..e.target_count()).map(move |t| e.target(t).counters().bytes_read))
+            .sum()
+    }
+}

@@ -1,0 +1,435 @@
+//! The DAOS engine: an RPC server with one service stream (xstream) per
+//! VOS target.
+//!
+//! Each data-plane request is dispatched to the xstream owning its target:
+//! the xstream charges a fixed per-RPC CPU cost, executes the VOS operation
+//! against the target's media, and replies. One xstream serves one request
+//! at a time (Argobots ULTs yield on I/O in real DAOS, but the paper's
+//! bulk-I/O workloads behave like FIFO service per target), so per-target
+//! queueing — the contention behaviour behind the object-class results —
+//! emerges naturally.
+
+use std::cell::RefCell;
+use std::collections::VecDeque;
+use std::rc::Rc;
+
+use daos_fabric::{Endpoint, Fabric, NodeId};
+use daos_sim::time::SimDuration;
+use daos_sim::units::Bandwidth;
+use daos_sim::{Pipe, Semaphore, SharedPipe, Sim};
+use daos_vos::target::VosConfig;
+use daos_vos::{Payload, VosTarget};
+use daos_media::MediaSet;
+use daos_placement::ObjectId;
+
+use crate::proto::{DaosError, Request, Response};
+
+/// Engine tuning knobs.
+#[derive(Clone, Copy, Debug)]
+pub struct EngineConfig {
+    /// Fixed CPU cost to parse/dispatch/complete one RPC on an xstream.
+    pub rpc_cpu: SimDuration,
+    /// Per-byte CPU on the serving xstream for data ops (copy into/out of
+    /// media buffers, checksumming). This makes the *target* a serial
+    /// resource for bulk I/O: a target holding several hot files serialises
+    /// their readers — the straggler mechanism that penalises `S1` at
+    /// scale.
+    pub xstream_copy_bw: Bandwidth,
+    /// Effective engine-wide bulk *write* bandwidth: service-core copies,
+    /// checksums and PMDK transaction overheads on the update path. Gen-1
+    /// DAOS engines on Optane were bound here (~3 GiB/s per engine), well
+    /// below the raw interleave-set bandwidth.
+    pub bulk_write_bw: Bandwidth,
+    /// Effective engine-wide bulk *read* bandwidth (~4x the write path:
+    /// no transaction/flush costs).
+    pub bulk_read_bw: Bandwidth,
+    /// How many distinct objects an engine's combined stream window (DCPMM
+    /// write-combining + DRAM VOS-tree cache) tracks before it thrashes.
+    /// Sized between S2's and SX's per-engine working sets: at 16 client
+    /// nodes (128 files in flight) S1 leaves ~8 objects per engine and S2
+    /// ~16 (both fit), while SX leaves ~128 (every access misses).
+    pub stream_lru: usize,
+    /// Stall for a write landing outside the stream window: the DCPMM
+    /// write-combining queue (WPQ) flushes a partial buffer before
+    /// admitting the new stream, and the PMDK transaction path re-walks a
+    /// cold tree. The stall adds *latency without consuming pipe
+    /// capacity*: blocked clients still offer more than the engines'
+    /// aggregate bandwidth at high node counts, so a saturated system
+    /// delivers full throughput regardless. This asymmetry is the paper's
+    /// crossover mechanism: wide classes (`SX`) run slower while the
+    /// system is latency-bound ("lower performance for fewer writers")
+    /// and win on placement balance once it is bandwidth-bound ("best
+    /// write performance for high contention").
+    pub write_miss_stall: SimDuration,
+    /// Added latency for a read of an object outside the window (cold
+    /// VOS-tree descent from SCM).
+    pub read_miss_latency: SimDuration,
+    /// Bulk-bandwidth amplification for cold reads: uncached descents drag
+    /// index pages and scatter-gather state through the service cores.
+    pub read_miss_amp: f64,
+    /// VOS index cost model shared by this engine's targets.
+    pub vos: VosConfig,
+    /// Background epoch-aggregation interval (None disables). Aggregation
+    /// flattens overwrite history older than `aggregation_retention`,
+    /// reclaiming extent-tree records — DAOS's background VOS aggregation
+    /// service.
+    pub aggregation_interval: Option<SimDuration>,
+    /// History younger than this is kept for snapshot readers.
+    pub aggregation_retention: SimDuration,
+}
+
+impl Default for EngineConfig {
+    fn default() -> Self {
+        EngineConfig {
+            rpc_cpu: SimDuration::from_us(6),
+            xstream_copy_bw: Bandwidth::gib_per_sec(8.5),
+            bulk_write_bw: Bandwidth::gib_per_sec(3.0),
+            bulk_read_bw: Bandwidth::gib_per_sec(11.0),
+            stream_lru: 36,
+            write_miss_stall: SimDuration::from_us(1500),
+            read_miss_latency: SimDuration::from_us(40),
+            read_miss_amp: 1.6,
+            vos: VosConfig::default(),
+            aggregation_interval: Some(SimDuration::from_secs(5)),
+            aggregation_retention: SimDuration::from_secs(2),
+        }
+    }
+}
+
+/// Control-plane requests the engine forwards to a co-located pool-service
+/// replica (if any): `(request, reply)` pairs.
+pub type ControlQueue = daos_sim::Mailbox<(Request, daos_sim::sync::OneshotSender<Response>)>;
+
+/// A DAOS engine bound to one fabric node.
+pub struct Engine {
+    index: u32,
+    node: NodeId,
+    targets: Vec<Rc<VosTarget>>,
+    endpoint: Rc<Endpoint<Request, Response>>,
+    control: ControlQueue,
+    has_replica: std::cell::Cell<bool>,
+    extents_reclaimed: std::cell::Cell<u64>,
+    bulk_write: SharedPipe,
+    bulk_read: SharedPipe,
+    /// Recently-written/read objects (engine-wide stream window).
+    streams: RefCell<VecDeque<(u64, u128)>>,
+    stream_lru: usize,
+    misses: std::cell::Cell<u64>,
+    hits: std::cell::Cell<u64>,
+}
+
+impl Engine {
+    /// Build an engine with `targets_per_engine` VOS targets over `media`
+    /// and start its service loop.
+    pub fn spawn(
+        sim: &Sim,
+        fabric: Rc<Fabric>,
+        node: NodeId,
+        index: u32,
+        media: Rc<MediaSet>,
+        targets_per_engine: u32,
+        cfg: EngineConfig,
+    ) -> Rc<Engine> {
+        let targets: Vec<Rc<VosTarget>> = (0..targets_per_engine)
+            .map(|_| VosTarget::new(Rc::clone(&media), cfg.vos))
+            .collect();
+        let endpoint = Endpoint::bind(fabric, node);
+        let eng = Rc::new(Engine {
+            index,
+            node,
+            targets,
+            endpoint,
+            control: daos_sim::Mailbox::new(),
+            has_replica: std::cell::Cell::new(false),
+            extents_reclaimed: std::cell::Cell::new(0),
+            bulk_write: Pipe::new(
+                format!("engine{index}.bulk.wr"),
+                cfg.bulk_write_bw,
+                SimDuration::ZERO,
+            ),
+            bulk_read: Pipe::new(
+                format!("engine{index}.bulk.rd"),
+                cfg.bulk_read_bw,
+                SimDuration::ZERO,
+            ),
+            streams: RefCell::new(VecDeque::new()),
+            stream_lru: cfg.stream_lru,
+            misses: std::cell::Cell::new(0),
+            hits: std::cell::Cell::new(0),
+        });
+        // one xstream (FIFO service) per target
+        let xstreams: Vec<Semaphore> = (0..targets_per_engine).map(|_| Semaphore::new(1)).collect();
+        // background VOS aggregation service
+        if let Some(interval) = cfg.aggregation_interval {
+            let e = Rc::clone(&eng);
+            let s = sim.clone();
+            sim.spawn(async move {
+                loop {
+                    s.sleep(interval).await;
+                    let horizon = s
+                        .now()
+                        .as_ns()
+                        .saturating_sub(cfg.aggregation_retention.as_ns());
+                    for t in 0..e.target_count() {
+                        let target = Rc::clone(e.target(t));
+                        for cid in target.container_ids() {
+                            let got = target.aggregate(cid, horizon) as u64;
+                            e.extents_reclaimed
+                                .set(e.extents_reclaimed.get() + got);
+                        }
+                        // yield so aggregation interleaves with service
+                        s.yield_now().await;
+                    }
+                }
+            });
+        }
+        let e2 = Rc::clone(&eng);
+        let sim2 = sim.clone();
+        sim.spawn(async move {
+            while let Some(inc) = e2.endpoint.serve().await {
+                let e3 = Rc::clone(&e2);
+                let xs = xstreams.clone();
+                let s = sim2.clone();
+                sim2.spawn(async move {
+                    e3.handle(&s, inc, &xs, cfg).await;
+                });
+            }
+        });
+        eng
+    }
+
+    /// This engine's index within the cluster.
+    pub fn index(&self) -> u32 {
+        self.index
+    }
+    /// The fabric node the engine is bound to.
+    pub fn node(&self) -> NodeId {
+        self.node
+    }
+    /// The engine's RPC endpoint (clients resolve targets to this).
+    pub fn endpoint(&self) -> &Rc<Endpoint<Request, Response>> {
+        &self.endpoint
+    }
+    /// Access a local VOS target (stats, tests).
+    pub fn target(&self, local: u32) -> &Rc<VosTarget> {
+        &self.targets[local as usize]
+    }
+    /// Number of local targets.
+    pub fn target_count(&self) -> u32 {
+        self.targets.len() as u32
+    }
+    /// The control queue a pool-service replica drains. Marks the engine as
+    /// hosting a replica.
+    pub fn attach_replica(&self) -> ControlQueue {
+        self.has_replica.set(true);
+        self.control.clone()
+    }
+
+    fn oid_key(oid: ObjectId) -> u128 {
+        ((oid.hi as u128) << 64) | oid.lo as u128
+    }
+
+    /// Touch the engine's stream window; returns true on a locality miss.
+    fn stream_miss(&self, cont: u64, oid: ObjectId) -> bool {
+        let key = (cont, Self::oid_key(oid));
+        let mut lru = self.streams.borrow_mut();
+        if let Some(pos) = lru.iter().position(|&k| k == key) {
+            lru.remove(pos);
+            lru.push_back(key);
+            self.hits.set(self.hits.get() + 1);
+            return false;
+        }
+        lru.push_back(key);
+        if lru.len() > self.stream_lru {
+            lru.pop_front();
+        }
+        self.misses.set(self.misses.get() + 1);
+        true
+    }
+
+    /// Stream-window (miss, hit) counters.
+    pub fn stream_stats(&self) -> (u64, u64) {
+        (self.misses.get(), self.hits.get())
+    }
+
+    /// Extent-tree records reclaimed by background aggregation.
+    pub fn extents_reclaimed(&self) -> u64 {
+        self.extents_reclaimed.get()
+    }
+
+    async fn handle(
+        &self,
+        sim: &Sim,
+        inc: daos_fabric::Incoming<Request, Response>,
+        xstreams: &[Semaphore],
+        cfg: EngineConfig,
+    ) {
+        let target_idx = match &inc.req {
+            Request::UpdateArray { target, .. }
+            | Request::FetchArray { target, .. }
+            | Request::UpdateSingle { target, .. }
+            | Request::FetchSingle { target, .. }
+            | Request::PunchObject { target, .. }
+            | Request::PunchArray { target, .. }
+            | Request::ListDkeys { target, .. }
+            | Request::ArrayMaxChunk { target, .. }
+            | Request::QueryEpoch { target } => Some(*target),
+            _ => None,
+        };
+
+        let rsp = match target_idx {
+            Some(t) => {
+                let t = t as usize % self.targets.len();
+                let _xs = xstreams[t].acquire().await;
+                sim.sleep(cfg.rpc_cpu).await;
+                // data ops burn xstream CPU proportional to payload
+                let copy_bytes = match &inc.req {
+                    Request::UpdateArray { data, .. } => data.len(),
+                    Request::UpdateSingle { value, .. } => value.len(),
+                    Request::FetchArray { len, .. } => *len,
+                    _ => 0,
+                };
+                if copy_bytes > 0 {
+                    sim.sleep(daos_sim::time::SimDuration::from_ns(
+                        cfg.xstream_copy_bw.ns_for(copy_bytes),
+                    ))
+                    .await;
+                }
+                self.exec_data(sim, &self.targets[t], cfg, inc.req.clone()).await
+            }
+            None => {
+                // control plane: forward to the co-located replica
+                if !self.has_replica.get() {
+                    Response::Err(DaosError::NotLeader { hint: None })
+                } else {
+                    let (tx, rx) = daos_sim::oneshot();
+                    self.control.send((inc.req.clone(), tx));
+                    match rx.await {
+                        Ok(r) => r,
+                        Err(_) => Response::Err(DaosError::Transport),
+                    }
+                }
+            }
+        };
+        let bulk = rsp.bulk_out();
+        inc.respond(rsp, bulk);
+    }
+
+    async fn exec_data(
+        &self,
+        sim: &Sim,
+        target: &Rc<VosTarget>,
+        cfg: EngineConfig,
+        req: Request,
+    ) -> Response {
+        match req {
+            Request::UpdateArray {
+                cont,
+                oid,
+                dkey,
+                akey,
+                offset,
+                data,
+                ..
+            } => {
+                if self.stream_miss(cont, oid) {
+                    // WPQ flush + cold-tree stall
+                    sim.sleep(cfg.write_miss_stall).await;
+                }
+                self.bulk_write.transfer(sim, data.len()).await;
+                let epoch = target.next_epoch_at(sim.now().as_ns());
+                target
+                    .update_array(sim, cont, Self::oid_key(oid), &dkey, &akey, offset, epoch, data)
+                    .await;
+                Response::Written { epoch }
+            }
+            Request::FetchArray {
+                cont,
+                oid,
+                dkey,
+                akey,
+                offset,
+                len,
+                epoch,
+                ..
+            } => {
+                let miss = self.stream_miss(cont, oid);
+                if miss {
+                    sim.sleep(cfg.read_miss_latency).await;
+                }
+                let segs = target
+                    .fetch_array(sim, cont, Self::oid_key(oid), &dkey, &akey, offset, len, epoch)
+                    .await;
+                let data: u64 = segs
+                    .iter()
+                    .filter(|s| s.data.is_some())
+                    .map(|s| s.len)
+                    .sum();
+                let amp = if miss { cfg.read_miss_amp } else { 1.0 };
+                self.bulk_read.transfer(sim, (data as f64 * amp) as u64).await;
+                Response::Fetched { segs }
+            }
+            Request::UpdateSingle {
+                cont,
+                oid,
+                dkey,
+                akey,
+                value,
+                ..
+            } => {
+                let epoch = target.next_epoch_at(sim.now().as_ns());
+                target
+                    .update_single(sim, cont, Self::oid_key(oid), &dkey, &akey, epoch, value)
+                    .await;
+                Response::Written { epoch }
+            }
+            Request::FetchSingle {
+                cont,
+                oid,
+                dkey,
+                akey,
+                epoch,
+                ..
+            } => {
+                let v: Option<Payload> = target
+                    .fetch_single(sim, cont, Self::oid_key(oid), &dkey, &akey, epoch)
+                    .await;
+                Response::Single(v)
+            }
+            Request::PunchArray {
+                cont,
+                oid,
+                dkey,
+                akey,
+                offset,
+                len,
+                ..
+            } => {
+                let epoch = target.next_epoch_at(sim.now().as_ns());
+                target
+                    .punch_array(sim, cont, Self::oid_key(oid), &dkey, &akey, offset, len, epoch)
+                    .await;
+                Response::Ok
+            }
+            Request::PunchObject { cont, oid, .. } => {
+                let epoch = target.next_epoch_at(sim.now().as_ns());
+                target.punch_object(sim, cont, Self::oid_key(oid), epoch).await;
+                Response::Ok
+            }
+            Request::ListDkeys { cont, oid, .. } => {
+                let keys = target
+                    .list_dkeys(sim, cont, Self::oid_key(oid), u64::MAX)
+                    .await;
+                Response::Dkeys(keys)
+            }
+            Request::ArrayMaxChunk { cont, oid, akey, .. } => {
+                let mc = target
+                    .array_max_chunk(sim, cont, Self::oid_key(oid), &akey, u64::MAX)
+                    .await;
+                Response::MaxChunk(mc)
+            }
+            Request::QueryEpoch { .. } => Response::Epoch(target.current_epoch()),
+            _ => Response::Err(DaosError::Other("control op on data path".into())),
+        }
+    }
+}

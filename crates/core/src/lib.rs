@@ -1,0 +1,36 @@
+//! # daos-core — the DAOS engine, pool service and client library
+//!
+//! This crate is the simulated equivalent of `daos_engine` + `libdaos`:
+//!
+//! * [`engine`] — a DAOS server process: per-target service streams
+//!   (xstreams) executing VOS operations against storage media, fed by an
+//!   OFI-style RPC endpoint.
+//! * [`pool`] — the pool service: pool/container metadata replicated with
+//!   RAFT across a replica set of engines (the paper's "RAFT-based
+//!   consensus algorithm for distributed, transactional indexing").
+//!   Control-plane operations (connect, container create/open/destroy) are
+//!   proposed to the leader and acknowledged only once committed.
+//! * [`client`] — `libdaos` for applications: pool/container handles and
+//!   object APIs (key-value and byte-array) that compute placement
+//!   client-side and talk straight to the engines holding each shard.
+//! * [`cluster`] — a testbed builder wiring fabric, engines, media and the
+//!   pool service together (defaults model NEXTGenIO: 8 dual-engine
+//!   servers, Optane DCPMM, 100 Gb/s fabric).
+//!
+//! Everything above the fabric is real protocol logic; only hardware time
+//! is simulated.
+
+pub mod client;
+pub mod cluster;
+pub mod engine;
+pub mod pool;
+pub mod proto;
+
+pub use client::{ArrayHandle, ContainerHandle, DaosClient, KvHandle, ObjectHandle, PoolHandle};
+pub use cluster::{Cluster, ClusterConfig};
+pub use engine::{Engine, EngineConfig};
+pub use pool::{PoolOp, PoolState};
+pub use proto::{DaosError, Request, Response};
+
+/// Container id within a pool.
+pub type ContId = u64;

@@ -1,0 +1,328 @@
+//! The pool service: pool/container metadata replicated with RAFT.
+//!
+//! A replica set of engines (3 by default) each runs a [`daos_raft::Raft`]
+//! instance driven by a periodic tick task. Control-plane requests arriving
+//! at an engine are forwarded to its replica; the leader proposes the
+//! operation and replies only once the entry commits and applies, giving
+//! the transactional semantics DAOS's service layer provides. Followers
+//! answer `NotLeader` with a hint so clients can re-target.
+
+use std::cell::RefCell;
+use std::collections::{BTreeMap, BTreeSet};
+use std::rc::Rc;
+
+use daos_fabric::{Endpoint, Fabric, NodeId};
+use daos_raft::{Apply, Config as RaftConfig, Message, Raft, Role};
+use daos_sim::time::SimDuration;
+use daos_sim::Sim;
+
+use crate::engine::ControlQueue;
+use crate::proto::{DaosError, Request, Response};
+use crate::ContId;
+
+/// Replicated pool-service commands.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum PoolOp {
+    Connect,
+    ContCreate(ContId),
+    ContOpen(ContId),
+    ContDestroy(ContId),
+}
+
+/// The replicated state machine: the pool's metadata.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct PoolState {
+    pub containers: BTreeSet<ContId>,
+    pub connections: u64,
+}
+
+impl PoolState {
+    /// Apply one committed op; the result is what the leader replies.
+    /// Must be deterministic — every replica runs it.
+    pub fn apply(&mut self, op: &PoolOp, engines: u32, targets_per_engine: u32) -> Response {
+        match op {
+            PoolOp::Connect => {
+                self.connections += 1;
+                Response::Connected {
+                    engines,
+                    targets_per_engine,
+                }
+            }
+            PoolOp::ContCreate(c) => {
+                if self.containers.insert(*c) {
+                    Response::Ok
+                } else {
+                    Response::Err(DaosError::ContainerExists(*c))
+                }
+            }
+            PoolOp::ContOpen(c) => {
+                if self.containers.contains(c) {
+                    Response::Connected {
+                        engines,
+                        targets_per_engine,
+                    }
+                } else {
+                    Response::Err(DaosError::NoContainer(*c))
+                }
+            }
+            PoolOp::ContDestroy(c) => {
+                if self.containers.remove(c) {
+                    Response::Ok
+                } else {
+                    Response::Err(DaosError::NoContainer(*c))
+                }
+            }
+        }
+    }
+
+    /// Serialise for RAFT snapshots.
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let mut v = Vec::with_capacity(16 + self.containers.len() * 8);
+        v.extend_from_slice(&self.connections.to_le_bytes());
+        v.extend_from_slice(&(self.containers.len() as u64).to_le_bytes());
+        for c in &self.containers {
+            v.extend_from_slice(&c.to_le_bytes());
+        }
+        v
+    }
+
+    /// Restore from a snapshot produced by [`PoolState::to_bytes`].
+    pub fn from_bytes(data: &[u8]) -> PoolState {
+        if data.len() < 16 {
+            return PoolState::default();
+        }
+        let rd = |i: usize| u64::from_le_bytes(data[i..i + 8].try_into().unwrap());
+        let connections = rd(0);
+        let n = rd(8) as usize;
+        let containers = (0..n).map(|i| rd(16 + i * 8)).collect();
+        PoolState {
+            containers,
+            connections,
+        }
+    }
+}
+
+/// RAFT message on the wire (sender id + payload).
+pub type RaftWire = (u64, Message<PoolOp>);
+
+/// One pool-service replica co-located with an engine.
+pub struct PoolReplica {
+    raft_id: u64,
+    raft: RefCell<Raft<PoolOp>>,
+    state: RefCell<PoolState>,
+    pending: RefCell<BTreeMap<u64, daos_sim::sync::OneshotSender<Response>>>,
+    raft_ep: Rc<Endpoint<RaftWire, ()>>,
+    /// raft id -> endpoint of that replica (filled once all are built).
+    peers: RefCell<BTreeMap<u64, Rc<Endpoint<RaftWire, ()>>>>,
+    node: NodeId,
+    engines: u32,
+    targets_per_engine: u32,
+}
+
+impl PoolReplica {
+    /// Current role (tests / introspection).
+    pub fn role(&self) -> Role {
+        self.raft.borrow().role()
+    }
+    /// Leader hint as an engine-replica raft id.
+    pub fn leader_hint(&self) -> Option<u64> {
+        self.raft.borrow().leader_hint()
+    }
+    /// The replicated state (for assertions).
+    pub fn state(&self) -> PoolState {
+        self.state.borrow().clone()
+    }
+
+    fn dispatch(self: &Rc<Self>, sim: &Sim, envs: Vec<daos_raft::Envelope<PoolOp>>) {
+        for env in envs {
+            let peers = self.peers.borrow();
+            let Some(ep) = peers.get(&env.to) else {
+                continue;
+            };
+            let ep = Rc::clone(ep);
+            let from_node = self.node;
+            let me = self.raft_id;
+            let s = sim.clone();
+            sim.spawn(async move {
+                // fire-and-forget; the receiver acks immediately
+                let _ = ep.call(&s, from_node, (me, env.msg), 0).await;
+            });
+        }
+    }
+
+    fn harvest(self: &Rc<Self>, applies: Vec<Apply<PoolOp>>) {
+        for ev in applies {
+            match ev {
+                Apply::Committed(entry) => {
+                    let rsp = self.state.borrow_mut().apply(
+                        &entry.cmd,
+                        self.engines,
+                        self.targets_per_engine,
+                    );
+                    if let Some(tx) = self.pending.borrow_mut().remove(&entry.index) {
+                        tx.send(rsp);
+                    }
+                }
+                Apply::Restore(snap) => {
+                    *self.state.borrow_mut() = PoolState::from_bytes(&snap.data);
+                }
+            }
+        }
+    }
+
+    fn handle_control(
+        self: &Rc<Self>,
+        sim: &Sim,
+        req: Request,
+        reply: daos_sim::sync::OneshotSender<Response>,
+    ) {
+        let op = match req {
+            Request::PoolConnect => PoolOp::Connect,
+            Request::ContCreate { cont } => PoolOp::ContCreate(cont),
+            Request::ContOpen { cont } => PoolOp::ContOpen(cont),
+            Request::ContDestroy { cont } => PoolOp::ContDestroy(cont),
+            other => {
+                reply.send(Response::Err(DaosError::Other(format!(
+                    "not a control op: {other:?}"
+                ))));
+                return;
+            }
+        };
+        let mut raft = self.raft.borrow_mut();
+        match raft.propose(op) {
+            Ok((index, outs)) => {
+                drop(raft);
+                self.pending.borrow_mut().insert(index, reply);
+                self.dispatch(sim, outs);
+                let applies = self.raft.borrow_mut().take_applies();
+                drop_if_empty(applies, |a| self.harvest(a));
+            }
+            Err(nl) => {
+                reply.send(Response::Err(DaosError::NotLeader { hint: nl.hint }));
+            }
+        }
+    }
+}
+
+fn drop_if_empty<T>(v: Vec<T>, f: impl FnOnce(Vec<T>)) {
+    if !v.is_empty() {
+        f(v)
+    }
+}
+
+/// Build and start the pool service across `members`:
+/// `(raft_id, fabric node, control queue)` per replica.
+///
+/// Returns the replicas (index-aligned with `members`).
+pub fn spawn_pool_service(
+    sim: &Sim,
+    fabric: &Rc<Fabric>,
+    members: Vec<(u64, NodeId, ControlQueue)>,
+    engines: u32,
+    targets_per_engine: u32,
+    tick: SimDuration,
+) -> Vec<Rc<PoolReplica>> {
+    let ids: Vec<u64> = members.iter().map(|(id, _, _)| *id).collect();
+    let replicas: Vec<Rc<PoolReplica>> = members
+        .iter()
+        .map(|(id, node, _)| {
+            Rc::new(PoolReplica {
+                raft_id: *id,
+                raft: RefCell::new(Raft::new(RaftConfig::new(*id, ids.clone()), 0xDA05)),
+                state: RefCell::new(PoolState::default()),
+                pending: RefCell::new(BTreeMap::new()),
+                raft_ep: Endpoint::bind(Rc::clone(fabric), *node),
+                peers: RefCell::new(BTreeMap::new()),
+                node: *node,
+                engines,
+                targets_per_engine,
+            })
+        })
+        .collect();
+
+    // cross-wire peer endpoints
+    for r in &replicas {
+        let mut peers = r.peers.borrow_mut();
+        for other in &replicas {
+            peers.insert(other.raft_id, Rc::clone(&other.raft_ep));
+        }
+    }
+
+    // driver task per replica
+    for (i, r) in replicas.iter().enumerate() {
+        let r = Rc::clone(r);
+        let control = members[i].2.clone();
+        let s = sim.clone();
+        sim.spawn(async move {
+            loop {
+                // 1. control requests from the engine front-end
+                while let Some((req, reply)) = control.try_recv() {
+                    r.handle_control(&s, req, reply);
+                }
+                // 2. incoming raft traffic
+                while let Some(inc) = r.raft_ep.try_serve() {
+                    let (from, msg) = inc.req.clone();
+                    inc.respond((), 0);
+                    let outs = r.raft.borrow_mut().step(from, msg);
+                    r.dispatch(&s, outs);
+                    let applies = r.raft.borrow_mut().take_applies();
+                    r.harvest(applies);
+                }
+                // 3. logical clock tick
+                let outs = r.raft.borrow_mut().tick();
+                r.dispatch(&s, outs);
+                let applies = r.raft.borrow_mut().take_applies();
+                r.harvest(applies);
+                // 4. compaction
+                {
+                    let mut raft = r.raft.borrow_mut();
+                    if raft.wants_snapshot() {
+                        let data = r.state.borrow().to_bytes();
+                        raft.compact(data);
+                    }
+                }
+                s.sleep(tick).await;
+            }
+        });
+    }
+    replicas
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pool_state_apply_semantics() {
+        let mut st = PoolState::default();
+        assert!(matches!(st.apply(&PoolOp::Connect, 4, 8), Response::Connected { engines: 4, targets_per_engine: 8 }));
+        assert!(st.apply(&PoolOp::ContCreate(1), 4, 8).ok().is_ok());
+        assert_eq!(
+            st.apply(&PoolOp::ContCreate(1), 4, 8).ok(),
+            Err(DaosError::ContainerExists(1))
+        );
+        assert!(st.apply(&PoolOp::ContOpen(1), 4, 8).ok().is_ok());
+        assert_eq!(
+            st.apply(&PoolOp::ContOpen(9), 4, 8).ok(),
+            Err(DaosError::NoContainer(9))
+        );
+        assert!(st.apply(&PoolOp::ContDestroy(1), 4, 8).ok().is_ok());
+        assert_eq!(
+            st.apply(&PoolOp::ContDestroy(1), 4, 8).ok(),
+            Err(DaosError::NoContainer(1))
+        );
+    }
+
+    #[test]
+    fn pool_state_snapshot_round_trip() {
+        let mut st = PoolState::default();
+        st.apply(&PoolOp::Connect, 1, 1);
+        for c in [3u64, 7, 9] {
+            st.apply(&PoolOp::ContCreate(c), 1, 1);
+        }
+        let bytes = st.to_bytes();
+        let back = PoolState::from_bytes(&bytes);
+        assert_eq!(st, back);
+        assert_eq!(PoolState::from_bytes(&[]), PoolState::default());
+    }
+}

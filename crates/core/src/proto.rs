@@ -1,0 +1,218 @@
+//! Wire protocol between clients and engines.
+
+use daos_placement::ObjectId;
+use daos_vos::tree::ReadSeg;
+use daos_vos::{Epoch, Key, Payload};
+
+use crate::ContId;
+
+/// Errors surfaced by engines / the pool service.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum DaosError {
+    /// Control op sent to a non-leader replica; retry at `hint` if known.
+    NotLeader { hint: Option<u64> },
+    /// Container does not exist.
+    NoContainer(ContId),
+    /// Container already exists.
+    ContainerExists(ContId),
+    /// RPC transport failure (endpoint closed).
+    Transport,
+    /// Anything else.
+    Other(String),
+}
+
+impl std::fmt::Display for DaosError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            DaosError::NotLeader { hint } => write!(f, "not the pool-service leader (hint {hint:?})"),
+            DaosError::NoContainer(c) => write!(f, "no such container {c}"),
+            DaosError::ContainerExists(c) => write!(f, "container {c} exists"),
+            DaosError::Transport => write!(f, "rpc transport failure"),
+            DaosError::Other(s) => write!(f, "{s}"),
+        }
+    }
+}
+impl std::error::Error for DaosError {}
+
+/// A request addressed to one engine; data-plane ops carry the local target
+/// index the shard lives on.
+#[derive(Clone, Debug)]
+pub enum Request {
+    // ------------------------------------------------------- data plane
+    UpdateArray {
+        target: u32,
+        cont: ContId,
+        oid: ObjectId,
+        dkey: Key,
+        akey: Key,
+        offset: u64,
+        data: Payload,
+    },
+    FetchArray {
+        target: u32,
+        cont: ContId,
+        oid: ObjectId,
+        dkey: Key,
+        akey: Key,
+        offset: u64,
+        len: u64,
+        epoch: Epoch,
+    },
+    UpdateSingle {
+        target: u32,
+        cont: ContId,
+        oid: ObjectId,
+        dkey: Key,
+        akey: Key,
+        value: Payload,
+    },
+    FetchSingle {
+        target: u32,
+        cont: ContId,
+        oid: ObjectId,
+        dkey: Key,
+        akey: Key,
+        epoch: Epoch,
+    },
+    PunchObject {
+        target: u32,
+        cont: ContId,
+        oid: ObjectId,
+    },
+    /// Punch a byte range inside one chunk (truncate support).
+    PunchArray {
+        target: u32,
+        cont: ContId,
+        oid: ObjectId,
+        dkey: Key,
+        akey: Key,
+        offset: u64,
+        len: u64,
+    },
+    ListDkeys {
+        target: u32,
+        cont: ContId,
+        oid: ObjectId,
+    },
+    /// Highest chunk dkey + size within it, for array-size queries.
+    ArrayMaxChunk {
+        target: u32,
+        cont: ContId,
+        oid: ObjectId,
+        akey: Key,
+    },
+    /// Highest epoch issued by this target (container snapshots).
+    QueryEpoch {
+        target: u32,
+    },
+    // ---------------------------------------------------- control plane
+    PoolConnect,
+    ContCreate {
+        cont: ContId,
+    },
+    ContOpen {
+        cont: ContId,
+    },
+    ContDestroy {
+        cont: ContId,
+    },
+}
+
+impl Request {
+    /// Bytes of bulk payload this request carries on the wire (write data).
+    pub fn bulk_in(&self) -> u64 {
+        match self {
+            Request::UpdateArray { data, .. } => data.len(),
+            Request::UpdateSingle { value, .. } => value.len(),
+            _ => 0,
+        }
+    }
+}
+
+/// Engine responses.
+#[derive(Clone, Debug)]
+pub enum Response {
+    Ok,
+    /// Epoch assigned to an update.
+    Written { epoch: Epoch },
+    Fetched { segs: Vec<ReadSeg> },
+    Single(Option<Payload>),
+    Dkeys(Vec<Key>),
+    /// Reply to `ArrayMaxChunk`.
+    MaxChunk(Option<(Key, u64)>),
+    /// Reply to `QueryEpoch`.
+    Epoch(Epoch),
+    /// Pool-map summary returned by PoolConnect / ContOpen.
+    Connected { engines: u32, targets_per_engine: u32 },
+    Err(DaosError),
+}
+
+impl Response {
+    /// Bytes of bulk payload this response carries (read data).
+    pub fn bulk_out(&self) -> u64 {
+        match self {
+            Response::Fetched { segs } => segs
+                .iter()
+                .filter_map(|s| s.data.as_ref())
+                .map(|d| d.len())
+                .sum(),
+            Response::Single(Some(p)) => p.len(),
+            Response::Dkeys(keys) => keys.iter().map(|k| k.len() as u64 + 8).sum(),
+            _ => 0,
+        }
+    }
+
+    /// Unwrap into a unit result.
+    pub fn ok(self) -> Result<(), DaosError> {
+        match self {
+            Response::Ok | Response::Written { .. } | Response::Connected { .. } => Ok(()),
+            Response::Err(e) => Err(e),
+            other => Err(DaosError::Other(format!("unexpected response {other:?}"))),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bulk_accounting() {
+        let w = Request::UpdateArray {
+            target: 0,
+            cont: 1,
+            oid: ObjectId::new(0, 1),
+            dkey: vec![0],
+            akey: vec![0],
+            offset: 0,
+            data: Payload::pattern(1, 4096),
+        };
+        assert_eq!(w.bulk_in(), 4096);
+        let r = Response::Fetched {
+            segs: vec![
+                ReadSeg {
+                    offset: 0,
+                    len: 100,
+                    data: Some(Payload::pattern(1, 100)),
+                },
+                ReadSeg {
+                    offset: 100,
+                    len: 50,
+                    data: None,
+                },
+            ],
+        };
+        assert_eq!(r.bulk_out(), 100);
+    }
+
+    #[test]
+    fn response_ok_unwrapping() {
+        assert!(Response::Ok.ok().is_ok());
+        assert!(Response::Written { epoch: 3 }.ok().is_ok());
+        assert_eq!(
+            Response::Err(DaosError::NoContainer(7)).ok(),
+            Err(DaosError::NoContainer(7))
+        );
+        assert!(Response::Single(None).ok().is_err());
+    }
+}

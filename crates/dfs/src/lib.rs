@@ -1,0 +1,522 @@
+//! # daos-dfs — the DAOS File System (`libdfs`)
+//!
+//! DFS encapsulates a POSIX namespace inside a DAOS container:
+//!
+//! * a *superblock* object records filesystem attributes (magic, default
+//!   chunk size, default object classes);
+//! * every directory is a KV object whose dkeys are entry names and whose
+//!   values are serialised [`DirEntry`] records pointing at child objects;
+//! * every file is a byte-array object chunked at the file's chunk size.
+//!
+//! The API mirrors `libdfs`: `mount`, `lookup`, `mkdir`, `open`
+//! (create/read/write), `read`/`write` at offsets, `get_size`, `readdir`,
+//! `unlink`, `rename`. Each path component costs one KV lookup RPC, exactly
+//! like the real client. This is the backend the IOR `DFS` driver and the
+//! DFuse daemon sit on.
+
+use std::cell::Cell;
+use std::rc::Rc;
+
+use daos_core::{ContainerHandle, DaosError, PoolHandle};
+use daos_placement::{ObjectClass, ObjectId};
+use daos_sim::Sim;
+use daos_vos::tree::ReadSeg;
+use daos_vos::Payload;
+
+/// Default chunk size (DFS default: 1 MiB).
+pub const DEFAULT_CHUNK: u64 = 1 << 20;
+
+/// Reserved object ids.
+const OID_SUPERBLOCK: ObjectId = ObjectId { hi: 0, lo: 1 };
+const OID_ROOT: ObjectId = ObjectId { hi: 0, lo: 2 };
+
+/// Kind of a namespace entry.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum EntryKind {
+    Dir,
+    File,
+    Symlink,
+}
+
+/// A directory entry: what a name maps to.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct DirEntry {
+    pub kind: EntryKind,
+    pub oid: ObjectId,
+    pub chunk_size: u64,
+    pub class: ObjectClass,
+    /// Link target path (symlinks only).
+    pub link_target: Option<String>,
+}
+
+impl DirEntry {
+    /// Serialise (directory value format).
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let mut v = Vec::with_capacity(64);
+        v.push(match self.kind {
+            EntryKind::Dir => 1,
+            EntryKind::File => 2,
+            EntryKind::Symlink => 3,
+        });
+        v.extend_from_slice(&self.oid.hi.to_le_bytes());
+        v.extend_from_slice(&self.oid.lo.to_le_bytes());
+        v.extend_from_slice(&self.chunk_size.to_le_bytes());
+        let name = self.class.name();
+        v.push(name.len() as u8);
+        v.extend_from_slice(name.as_bytes());
+        if let Some(t) = &self.link_target {
+            v.extend_from_slice(&(t.len() as u16).to_le_bytes());
+            v.extend_from_slice(t.as_bytes());
+        }
+        v
+    }
+
+    /// Deserialise; `None` on corruption.
+    pub fn from_bytes(b: &[u8]) -> Option<DirEntry> {
+        if b.len() < 26 {
+            return None;
+        }
+        let kind = match b[0] {
+            1 => EntryKind::Dir,
+            2 => EntryKind::File,
+            3 => EntryKind::Symlink,
+            _ => return None,
+        };
+        let rd = |i: usize| u64::from_le_bytes(b[i..i + 8].try_into().ok().unwrap());
+        let oid = ObjectId::new(rd(1), rd(9));
+        let chunk_size = rd(17);
+        let n = b[25] as usize;
+        if b.len() < 26 + n {
+            return None;
+        }
+        let class = ObjectClass::parse(std::str::from_utf8(&b[26..26 + n]).ok()?)?;
+        let link_target = if kind == EntryKind::Symlink {
+            let at = 26 + n;
+            if b.len() < at + 2 {
+                return None;
+            }
+            let tl = u16::from_le_bytes(b[at..at + 2].try_into().ok()?) as usize;
+            if b.len() < at + 2 + tl {
+                return None;
+            }
+            Some(String::from_utf8(b[at + 2..at + 2 + tl].to_vec()).ok()?)
+        } else {
+            None
+        };
+        Some(DirEntry {
+            kind,
+            oid,
+            chunk_size,
+            class,
+            link_target,
+        })
+    }
+}
+
+/// Mount-time configuration.
+#[derive(Clone, Copy, Debug)]
+pub struct DfsConfig {
+    /// Default chunk size for new files.
+    pub chunk_size: u64,
+    /// Object class for directories.
+    pub dir_class: ObjectClass,
+    /// Default object class for files.
+    pub file_class: ObjectClass,
+}
+
+impl Default for DfsConfig {
+    fn default() -> Self {
+        DfsConfig {
+            chunk_size: DEFAULT_CHUNK,
+            dir_class: ObjectClass::S1,
+            file_class: ObjectClass::SX,
+        }
+    }
+}
+
+/// A mounted DFS namespace.
+pub struct Dfs {
+    cont: ContainerHandle,
+    cfg: DfsConfig,
+    /// Client-local object-id allocator (hi word carries the client tag so
+    /// concurrent clients never collide; real DFS reserves oid ranges).
+    next_oid: Cell<u64>,
+    oid_salt: u64,
+}
+
+/// An open file.
+#[derive(Clone)]
+pub struct DfsFile {
+    array: daos_core::ArrayHandle,
+    entry: DirEntry,
+}
+
+impl DfsFile {
+    /// The file's chunk size.
+    pub fn chunk_size(&self) -> u64 {
+        self.entry.chunk_size
+    }
+    /// The file's object class.
+    pub fn class(&self) -> ObjectClass {
+        self.entry.class
+    }
+    /// The file's object id.
+    pub fn oid(&self) -> ObjectId {
+        self.entry.oid
+    }
+
+    /// Write `data` at `offset`.
+    pub async fn write(&self, sim: &Sim, offset: u64, data: Payload) -> Result<(), DaosError> {
+        self.array.write(sim, offset, data).await
+    }
+
+    /// Read up to `len` bytes at `offset` (holes = zeroes, as segments).
+    pub async fn read(&self, sim: &Sim, offset: u64, len: u64) -> Result<Vec<ReadSeg>, DaosError> {
+        self.array.read(sim, offset, len).await
+    }
+
+    /// Read and materialise (test helper).
+    pub async fn read_bytes(&self, sim: &Sim, offset: u64, len: u64) -> Result<Vec<u8>, DaosError> {
+        self.array.read_bytes(sim, offset, len).await
+    }
+
+    /// Current file size.
+    pub async fn size(&self, sim: &Sim) -> Result<u64, DaosError> {
+        self.array.size(sim).await
+    }
+}
+
+/// File stat record.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Stat {
+    pub kind: EntryKind,
+    pub size: u64,
+}
+
+impl Dfs {
+    /// Mount the filesystem in container `cont_id`, creating the container
+    /// and formatting the superblock if needed (`dfs_mount` + `dfs_format`).
+    ///
+    /// `client_tag` must be unique per mounting client (it salts the oid
+    /// allocator).
+    pub async fn mount(
+        sim: &Sim,
+        pool: &PoolHandle,
+        cont_id: u64,
+        cfg: DfsConfig,
+        client_tag: u64,
+    ) -> Result<Rc<Dfs>, DaosError> {
+        let cont = pool.open_or_create(sim, cont_id).await?;
+        let dfs = Rc::new(Dfs {
+            cont,
+            cfg,
+            next_oid: Cell::new(1),
+            oid_salt: client_tag,
+        });
+        // read-or-write the superblock (magic + defaults)
+        let sb = dfs.cont.object(OID_SUPERBLOCK, ObjectClass::S1).kv();
+        if sb.get(sim, "magic").await?.is_none() {
+            sb.put(sim, "magic", Payload::bytes(&b"DFS1"[..])).await?;
+            sb.put(
+                sim,
+                "chunk_size",
+                Payload::bytes(cfg.chunk_size.to_le_bytes().to_vec()),
+            )
+            .await?;
+        }
+        Ok(dfs)
+    }
+
+    /// The mount's defaults.
+    pub fn config(&self) -> &DfsConfig {
+        &self.cfg
+    }
+    /// The container backing the mount.
+    pub fn container(&self) -> &ContainerHandle {
+        &self.cont
+    }
+
+    fn alloc_oid(&self) -> ObjectId {
+        let seq = self.next_oid.get();
+        self.next_oid.set(seq + 1);
+        ObjectId::new(self.oid_salt.wrapping_add(0x100), seq.wrapping_mul(2) + 0x10)
+    }
+
+    fn dir_kv(&self, oid: ObjectId) -> daos_core::KvHandle {
+        self.cont.object(oid, self.cfg.dir_class).kv()
+    }
+
+    fn split_path(path: &str) -> Vec<&str> {
+        path.split('/').filter(|c| !c.is_empty()).collect()
+    }
+
+    /// Resolve the parent directory of `path`; returns `(parent_oid, name)`.
+    async fn resolve_parent<'p>(
+        &self,
+        sim: &Sim,
+        path: &'p str,
+    ) -> Result<(ObjectId, &'p str), DaosError> {
+        let comps = Self::split_path(path);
+        let Some((name, dirs)) = comps.split_last() else {
+            return Err(DaosError::Other("empty path".into()));
+        };
+        let mut cur = OID_ROOT;
+        for comp in dirs {
+            let kv = self.dir_kv(cur);
+            let Some(v) = kv.get(sim, comp).await? else {
+                return Err(DaosError::Other(format!("no such directory: {comp}")));
+            };
+            let ent = DirEntry::from_bytes(&v.materialize())
+                .ok_or_else(|| DaosError::Other("corrupt dirent".into()))?;
+            if ent.kind != EntryKind::Dir {
+                return Err(DaosError::Other(format!("not a directory: {comp}")));
+            }
+            cur = ent.oid;
+        }
+        Ok((cur, name))
+    }
+
+    /// Look up a full path to its entry (root yields a synthetic dir entry).
+    pub async fn lookup(&self, sim: &Sim, path: &str) -> Result<Option<DirEntry>, DaosError> {
+        if Self::split_path(path).is_empty() {
+            return Ok(Some(DirEntry {
+                kind: EntryKind::Dir,
+                oid: OID_ROOT,
+                chunk_size: self.cfg.chunk_size,
+                class: self.cfg.dir_class,
+                link_target: None,
+            }));
+        }
+        let (parent, name) = self.resolve_parent(sim, path).await?;
+        let v = self.dir_kv(parent).get(sim, name).await?;
+        Ok(v.filter(|v| !v.is_empty())
+            .and_then(|v| DirEntry::from_bytes(&v.materialize())))
+    }
+
+    /// Create a directory.
+    pub async fn mkdir(&self, sim: &Sim, path: &str) -> Result<(), DaosError> {
+        let (parent, name) = self.resolve_parent(sim, path).await?;
+        let kv = self.dir_kv(parent);
+        if kv.get(sim, name).await?.filter(|v| !v.is_empty()).is_some() {
+            return Err(DaosError::Other(format!("exists: {path}")));
+        }
+        let ent = DirEntry {
+            kind: EntryKind::Dir,
+            oid: self.alloc_oid(),
+            chunk_size: self.cfg.chunk_size,
+            class: self.cfg.dir_class,
+            link_target: None,
+        };
+        kv.put(sim, name, Payload::bytes(ent.to_bytes())).await
+    }
+
+    /// Create a symbolic link at `path` pointing to `target`.
+    pub async fn symlink(&self, sim: &Sim, path: &str, target: &str) -> Result<(), DaosError> {
+        let (parent, name) = self.resolve_parent(sim, path).await?;
+        let kv = self.dir_kv(parent);
+        if kv.get(sim, name).await?.filter(|v| !v.is_empty()).is_some() {
+            return Err(DaosError::Other(format!("exists: {path}")));
+        }
+        let ent = DirEntry {
+            kind: EntryKind::Symlink,
+            oid: self.alloc_oid(),
+            chunk_size: 0,
+            class: ObjectClass::S1,
+            link_target: Some(target.to_string()),
+        };
+        kv.put(sim, name, Payload::bytes(ent.to_bytes())).await
+    }
+
+    /// Resolve a path following symlinks (depth-capped like the kernel).
+    pub async fn lookup_follow(&self, sim: &Sim, path: &str) -> Result<Option<DirEntry>, DaosError> {
+        let mut cur = path.to_string();
+        for _ in 0..8 {
+            match self.lookup(sim, &cur).await? {
+                Some(ent) if ent.kind == EntryKind::Symlink => {
+                    cur = ent
+                        .link_target
+                        .clone()
+                        .ok_or_else(|| DaosError::Other("dangling symlink".into()))?;
+                }
+                other => return Ok(other),
+            }
+        }
+        Err(DaosError::Other(format!("too many symlink levels: {path}")))
+    }
+
+    /// Truncate a file to `size` (only shrinking punches data; growing is a
+    /// no-op on a sparse object store).
+    pub async fn truncate(&self, sim: &Sim, path: &str, size: u64) -> Result<(), DaosError> {
+        let f = self.open(sim, path).await?;
+        let cur = f.size(sim).await?;
+        if size < cur {
+            f.array.punch(sim, size, cur - size).await?;
+        }
+        Ok(())
+    }
+
+    /// Create (or re-open) a file with an explicit class/chunk size.
+    pub async fn create(
+        &self,
+        sim: &Sim,
+        path: &str,
+        class: ObjectClass,
+        chunk_size: u64,
+    ) -> Result<DfsFile, DaosError> {
+        let (parent, name) = self.resolve_parent(sim, path).await?;
+        let kv = self.dir_kv(parent);
+        // open-or-create semantics: IOR reuses files across phases, and
+        // shared-file mode has every rank "creating" the same file
+        if let Some(v) = kv.get(sim, name).await?.filter(|v| !v.is_empty()) {
+            let ent = DirEntry::from_bytes(&v.materialize())
+                .ok_or_else(|| DaosError::Other("corrupt dirent".into()))?;
+            if ent.kind == EntryKind::File {
+                return Ok(self.file_from(ent));
+            }
+            return Err(DaosError::Other(format!("is a directory: {path}")));
+        }
+        let ent = DirEntry {
+            kind: EntryKind::File,
+            oid: self.alloc_oid(),
+            chunk_size,
+            class,
+            link_target: None,
+        };
+        kv.put(sim, name, Payload::bytes(ent.to_bytes())).await?;
+        Ok(self.file_from(ent))
+    }
+
+    /// Create with the mount defaults.
+    pub async fn create_default(&self, sim: &Sim, path: &str) -> Result<DfsFile, DaosError> {
+        self.create(sim, path, self.cfg.file_class, self.cfg.chunk_size)
+            .await
+    }
+
+    /// Open an existing file (follows symlinks).
+    pub async fn open(&self, sim: &Sim, path: &str) -> Result<DfsFile, DaosError> {
+        match self.lookup_follow(sim, path).await? {
+            Some(ent) if ent.kind == EntryKind::File => Ok(self.file_from(ent)),
+            Some(_) => Err(DaosError::Other(format!("is a directory: {path}"))),
+            None => Err(DaosError::Other(format!("no such file: {path}"))),
+        }
+    }
+
+    fn file_from(&self, ent: DirEntry) -> DfsFile {
+        DfsFile {
+            array: self.cont.object(ent.oid, ent.class).array(ent.chunk_size),
+            entry: ent,
+        }
+    }
+
+    /// Stat a path.
+    pub async fn stat(&self, sim: &Sim, path: &str) -> Result<Stat, DaosError> {
+        match self.lookup(sim, path).await? {
+            Some(ent) if ent.kind == EntryKind::File => {
+                let size = self.file_from(ent).size(sim).await?;
+                Ok(Stat {
+                    kind: EntryKind::File,
+                    size,
+                })
+            }
+            Some(_) => Ok(Stat {
+                kind: EntryKind::Dir,
+                size: 0,
+            }),
+            None => Err(DaosError::Other(format!("no such path: {path}"))),
+        }
+    }
+
+    /// List entry names in a directory.
+    pub async fn readdir(&self, sim: &Sim, path: &str) -> Result<Vec<String>, DaosError> {
+        let ent = self
+            .lookup(sim, path)
+            .await?
+            .ok_or_else(|| DaosError::Other(format!("no such dir: {path}")))?;
+        if ent.kind != EntryKind::Dir {
+            return Err(DaosError::Other(format!("not a directory: {path}")));
+        }
+        let kv = self.dir_kv(ent.oid);
+        let keys = kv.list(sim).await?;
+        // filter tombstones (unlinked entries)
+        let mut names = Vec::with_capacity(keys.len());
+        for k in keys {
+            if let Some(v) = kv.get(sim, &k).await? {
+                if !v.is_empty() {
+                    names.push(String::from_utf8_lossy(&k).into_owned());
+                }
+            }
+        }
+        Ok(names)
+    }
+
+    /// Remove a file (dirent tombstone + object punch).
+    pub async fn unlink(&self, sim: &Sim, path: &str) -> Result<(), DaosError> {
+        let (parent, name) = self.resolve_parent(sim, path).await?;
+        let kv = self.dir_kv(parent);
+        let Some(v) = kv.get(sim, name).await?.filter(|v| !v.is_empty()) else {
+            return Err(DaosError::Other(format!("no such file: {path}")));
+        };
+        let ent = DirEntry::from_bytes(&v.materialize())
+            .ok_or_else(|| DaosError::Other("corrupt dirent".into()))?;
+        kv.put(sim, name, Payload::bytes(Vec::new())).await?;
+        self.cont.object(ent.oid, ent.class).punch(sim).await?;
+        Ok(())
+    }
+
+    /// Rename a file or directory within the namespace.
+    pub async fn rename(&self, sim: &Sim, from: &str, to: &str) -> Result<(), DaosError> {
+        let (fp, fname) = self.resolve_parent(sim, from).await?;
+        let fkv = self.dir_kv(fp);
+        let Some(v) = fkv.get(sim, fname).await?.filter(|v| !v.is_empty()) else {
+            return Err(DaosError::Other(format!("no such path: {from}")));
+        };
+        let (tp, tname) = self.resolve_parent(sim, to).await?;
+        self.dir_kv(tp).put(sim, tname, v).await?;
+        fkv.put(sim, fname, Payload::bytes(Vec::new())).await
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dirent_round_trip() {
+        for class in [ObjectClass::S1, ObjectClass::SX, ObjectClass::RP_2GX] {
+            let e = DirEntry {
+                kind: EntryKind::File,
+                oid: ObjectId::new(0xDEAD, 0xBEEF),
+                chunk_size: 1 << 20,
+                class,
+                link_target: None,
+            };
+            assert_eq!(DirEntry::from_bytes(&e.to_bytes()), Some(e));
+        }
+        let d = DirEntry {
+            kind: EntryKind::Dir,
+            oid: ObjectId::new(1, 2),
+            chunk_size: 4096,
+            class: ObjectClass::S1,
+            link_target: None,
+        };
+        let l = DirEntry {
+            kind: EntryKind::Symlink,
+            oid: ObjectId::new(3, 4),
+            chunk_size: 0,
+            class: ObjectClass::S1,
+            link_target: Some("/a/b".to_string()),
+        };
+        assert_eq!(DirEntry::from_bytes(&l.to_bytes()), Some(l));
+        assert_eq!(DirEntry::from_bytes(&d.to_bytes()), Some(d));
+        assert_eq!(DirEntry::from_bytes(&[]), None);
+        assert_eq!(DirEntry::from_bytes(&[7u8; 40]), None);
+    }
+
+    #[test]
+    fn split_path_handles_slashes() {
+        assert_eq!(Dfs::split_path("/a/b/c"), vec!["a", "b", "c"]);
+        assert_eq!(Dfs::split_path("a//b/"), vec!["a", "b"]);
+        assert!(Dfs::split_path("/").is_empty());
+        assert!(Dfs::split_path("").is_empty());
+    }
+}

@@ -1,0 +1,160 @@
+//! DFS namespace integration tests over a live simulated cluster: nested
+//! directories, rename, unlink, truncate, symlinks, readdir and size
+//! tracking, plus cross-client visibility (two mounts of one container).
+
+use std::rc::Rc;
+
+use daos_core::{Cluster, ClusterConfig, DaosClient};
+use daos_dfs::{Dfs, DfsConfig, EntryKind};
+use daos_placement::ObjectClass;
+use daos_sim::units::{KIB, MIB};
+use daos_sim::Sim;
+use daos_vos::Payload;
+
+async fn fs(sim: &Sim) -> Rc<Dfs> {
+    let cluster = Cluster::build(sim, ClusterConfig::tiny(1));
+    let client = DaosClient::new(cluster, 0);
+    let pool = client.connect(sim).await.unwrap();
+    Dfs::mount(sim, &pool, 1, DfsConfig::default(), 3).await.unwrap()
+}
+
+#[test]
+fn nested_directories_and_readdir() {
+    let mut sim = Sim::new(0xD51);
+    sim.block_on(|sim| async move {
+        let fs = fs(&sim).await;
+        fs.mkdir(&sim, "/a").await.unwrap();
+        fs.mkdir(&sim, "/a/b").await.unwrap();
+        fs.mkdir(&sim, "/a/b/c").await.unwrap();
+        fs.create(&sim, "/a/b/c/deep.dat", ObjectClass::S1, MIB)
+            .await
+            .unwrap();
+        fs.create(&sim, "/a/top.dat", ObjectClass::S1, MIB).await.unwrap();
+        assert_eq!(fs.readdir(&sim, "/").await.unwrap(), vec!["a"]);
+        assert_eq!(fs.readdir(&sim, "/a").await.unwrap(), vec!["b", "top.dat"]);
+        assert_eq!(fs.readdir(&sim, "/a/b/c").await.unwrap(), vec!["deep.dat"]);
+        // mkdir over an existing name fails
+        assert!(fs.mkdir(&sim, "/a/b").await.is_err());
+        // lookup classifies correctly
+        assert_eq!(
+            fs.lookup(&sim, "/a/b").await.unwrap().unwrap().kind,
+            EntryKind::Dir
+        );
+        assert_eq!(
+            fs.lookup(&sim, "/a/top.dat").await.unwrap().unwrap().kind,
+            EntryKind::File
+        );
+        assert!(fs.lookup(&sim, "/a/nope").await.unwrap().is_none());
+    });
+}
+
+#[test]
+fn write_grows_size_truncate_shrinks_it() {
+    let mut sim = Sim::new(0xD52);
+    sim.block_on(|sim| async move {
+        let fs = fs(&sim).await;
+        let f = fs.create(&sim, "/t.dat", ObjectClass::S2, 256 * KIB).await.unwrap();
+        f.write(&sim, 0, Payload::pattern(1, MIB)).await.unwrap();
+        assert_eq!(fs.stat(&sim, "/t.dat").await.unwrap().size, MIB);
+        // sparse write extends
+        f.write(&sim, 3 * MIB, Payload::pattern(2, KIB)).await.unwrap();
+        assert_eq!(f.size(&sim).await.unwrap(), 3 * MIB + KIB);
+        // truncate down
+        fs.truncate(&sim, "/t.dat", MIB / 2).await.unwrap();
+        assert_eq!(f.size(&sim).await.unwrap(), MIB / 2);
+        // punched region reads as holes, surviving prefix intact
+        let got = f.read_bytes(&sim, 0, MIB).await.unwrap();
+        let want = Payload::pattern(1, MIB).materialize();
+        assert_eq!(&got[..(MIB / 2) as usize], &want[..(MIB / 2) as usize]);
+        assert!(got[(MIB / 2) as usize..].iter().all(|&b| b == 0));
+    });
+}
+
+#[test]
+fn rename_moves_entries_across_directories() {
+    let mut sim = Sim::new(0xD53);
+    sim.block_on(|sim| async move {
+        let fs = fs(&sim).await;
+        fs.mkdir(&sim, "/src").await.unwrap();
+        fs.mkdir(&sim, "/dst").await.unwrap();
+        let f = fs.create(&sim, "/src/x.dat", ObjectClass::S1, MIB).await.unwrap();
+        f.write(&sim, 0, Payload::pattern(7, 64 * KIB)).await.unwrap();
+        fs.rename(&sim, "/src/x.dat", "/dst/y.dat").await.unwrap();
+        assert!(fs.lookup(&sim, "/src/x.dat").await.unwrap().is_none());
+        let g = fs.open(&sim, "/dst/y.dat").await.unwrap();
+        // same object: data survives the rename
+        assert_eq!(g.oid(), f.oid());
+        assert_eq!(
+            g.read_bytes(&sim, 0, 64 * KIB).await.unwrap(),
+            Payload::pattern(7, 64 * KIB).materialize().to_vec()
+        );
+        assert_eq!(fs.readdir(&sim, "/src").await.unwrap(), Vec::<String>::new());
+    });
+}
+
+#[test]
+fn unlink_removes_and_frees() {
+    let mut sim = Sim::new(0xD54);
+    sim.block_on(|sim| async move {
+        let fs = fs(&sim).await;
+        let f = fs.create(&sim, "/gone.dat", ObjectClass::SX, MIB).await.unwrap();
+        f.write(&sim, 0, Payload::pattern(1, MIB)).await.unwrap();
+        fs.unlink(&sim, "/gone.dat").await.unwrap();
+        assert!(fs.open(&sim, "/gone.dat").await.is_err());
+        assert!(fs.unlink(&sim, "/gone.dat").await.is_err());
+        // the object data is punched, not just unlinked
+        let got = f.read_bytes(&sim, 0, MIB).await.unwrap();
+        assert!(got.iter().all(|&b| b == 0));
+        // name is reusable
+        fs.create(&sim, "/gone.dat", ObjectClass::S1, MIB).await.unwrap();
+    });
+}
+
+#[test]
+fn symlinks_resolve_and_cap_loops() {
+    let mut sim = Sim::new(0xD55);
+    sim.block_on(|sim| async move {
+        let fs = fs(&sim).await;
+        let f = fs.create(&sim, "/real.dat", ObjectClass::S1, MIB).await.unwrap();
+        f.write(&sim, 0, Payload::pattern(3, KIB)).await.unwrap();
+        fs.symlink(&sim, "/link", "/real.dat").await.unwrap();
+        fs.symlink(&sim, "/link2", "/link").await.unwrap();
+        // open follows chains
+        let via = fs.open(&sim, "/link2").await.unwrap();
+        assert_eq!(via.oid(), f.oid());
+        // lstat-style lookup does not follow
+        assert_eq!(
+            fs.lookup(&sim, "/link").await.unwrap().unwrap().kind,
+            EntryKind::Symlink
+        );
+        // loops are detected
+        fs.symlink(&sim, "/loop_a", "/loop_b").await.unwrap();
+        fs.symlink(&sim, "/loop_b", "/loop_a").await.unwrap();
+        assert!(fs.open(&sim, "/loop_a").await.is_err());
+    });
+}
+
+#[test]
+fn two_mounts_see_each_others_changes() {
+    let mut sim = Sim::new(0xD56);
+    sim.block_on(|sim| async move {
+        let cluster = Cluster::build(&sim, ClusterConfig::tiny(2));
+        let c0 = DaosClient::new(Rc::clone(&cluster), 0);
+        let c1 = DaosClient::new(Rc::clone(&cluster), 1);
+        let p0 = c0.connect(&sim).await.unwrap();
+        let p1 = c1.connect(&sim).await.unwrap();
+        let fs0 = Dfs::mount(&sim, &p0, 1, DfsConfig::default(), 10).await.unwrap();
+        let fs1 = Dfs::mount(&sim, &p1, 1, DfsConfig::default(), 11).await.unwrap();
+        // node 0 writes, node 1 reads — no caches in between
+        let f0 = fs0.create(&sim, "/shared.dat", ObjectClass::S2, MIB).await.unwrap();
+        f0.write(&sim, 0, Payload::pattern(42, MIB)).await.unwrap();
+        let f1 = fs1.open(&sim, "/shared.dat").await.unwrap();
+        assert_eq!(
+            f1.read_bytes(&sim, 0, MIB).await.unwrap(),
+            Payload::pattern(42, MIB).materialize().to_vec()
+        );
+        // and the reverse direction for namespace ops
+        fs1.mkdir(&sim, "/from1").await.unwrap();
+        assert!(fs0.lookup(&sim, "/from1").await.unwrap().is_some());
+    });
+}

@@ -1,0 +1,406 @@
+//! # daos-fabric — OFI-like network fabric model
+//!
+//! DAOS uses libfabric/OFI over a low-latency interconnect (Omni-Path on the
+//! paper's NEXTGenIO testbed). We model the fabric at flow level:
+//!
+//! * each node owns a full-duplex NIC — independent `tx` and `rx`
+//!   [`Pipe`]s at link rate;
+//! * the switch is non-blocking (true for the 8–40 node scales here), so a
+//!   message's cost is injection (tx), wire latency, and ejection (rx);
+//! * large messages are *pipelined* in frames: the transmit of frame `i+1`
+//!   overlaps the receive of frame `i`, so one flow reaches line rate while
+//!   still contending frame-by-frame with other flows at both endpoints —
+//!   this is what produces realistic incast behaviour at the servers.
+//!
+//! [`Endpoint`] adds an addressable RPC surface on top: register a handler
+//! mailbox per node, `call` from anywhere, get a reply future.
+
+use std::cell::RefCell;
+use std::rc::Rc;
+
+use daos_sim::time::{SimDuration, SimTime};
+use daos_sim::units::Bandwidth;
+use daos_sim::{Pipe, SharedPipe, Sim};
+
+/// Index of a node on the fabric.
+pub type NodeId = usize;
+
+/// Fabric-wide parameters.
+#[derive(Clone, Copy, Debug)]
+pub struct FabricConfig {
+    /// Per-direction link bandwidth at every NIC.
+    pub link_bw: Bandwidth,
+    /// One-way wire + switch latency.
+    pub wire_latency: SimDuration,
+    /// Pipelining frame: unit of overlap between tx and rx.
+    pub frame: u64,
+    /// Sender-side CPU cost to inject one message (doorbell, descriptor).
+    pub per_msg_cpu: SimDuration,
+    /// Bandwidth of the intra-node loopback path (shared-memory copy).
+    pub loopback_bw: Bandwidth,
+}
+
+impl Default for FabricConfig {
+    /// 100 Gb/s Omni-Path-class fabric.
+    fn default() -> Self {
+        FabricConfig {
+            link_bw: Bandwidth::gbit_per_sec(100.0),
+            wire_latency: SimDuration::from_ns(1_100),
+            frame: 128 * 1024,
+            per_msg_cpu: SimDuration::from_ns(300),
+            loopback_bw: Bandwidth::gib_per_sec(20.0),
+        }
+    }
+}
+
+struct NodeNet {
+    tx: SharedPipe,
+    rx: SharedPipe,
+    loopback: SharedPipe,
+}
+
+/// The interconnect: a set of NICs plus a non-blocking switch.
+pub struct Fabric {
+    cfg: FabricConfig,
+    nodes: Vec<NodeNet>,
+}
+
+impl Fabric {
+    /// Build a fabric with `n` nodes.
+    pub fn new(n: usize, cfg: FabricConfig) -> Rc<Self> {
+        let nodes = (0..n)
+            .map(|i| NodeNet {
+                tx: Pipe::new(format!("nic{i}.tx"), cfg.link_bw, SimDuration::ZERO),
+                rx: Pipe::new(format!("nic{i}.rx"), cfg.link_bw, SimDuration::ZERO),
+                loopback: Pipe::new(format!("nic{i}.lo"), cfg.loopback_bw, SimDuration::ZERO),
+            })
+            .collect();
+        Rc::new(Fabric { cfg, nodes })
+    }
+
+    /// Number of nodes on the fabric.
+    pub fn len(&self) -> usize {
+        self.nodes.len()
+    }
+    /// True if the fabric has no nodes.
+    pub fn is_empty(&self) -> bool {
+        self.nodes.is_empty()
+    }
+    /// The fabric's configuration.
+    pub fn config(&self) -> &FabricConfig {
+        &self.cfg
+    }
+
+    /// Estimated request/response round-trip for a tiny control message.
+    pub fn rtt(&self) -> SimDuration {
+        (self.cfg.wire_latency + self.cfg.per_msg_cpu) * 2
+    }
+
+    /// Move `bytes` from `from` to `to`, returning the completion instant.
+    ///
+    /// Pipelined across tx/rx in `frame`-sized units; contends FIFO with
+    /// concurrent flows at both NICs. Zero-byte messages still pay wire
+    /// latency and injection cost (control traffic).
+    pub async fn message(&self, sim: &Sim, from: NodeId, to: NodeId, bytes: u64) -> SimTime {
+        let done = self.reserve_message(sim, from, to, bytes);
+        sim.sleep_until(done).await;
+        done
+    }
+
+    /// Reservation-only variant of [`Fabric::message`]: books the NIC time
+    /// and returns the completion instant without awaiting it.
+    pub fn reserve_message(&self, sim: &Sim, from: NodeId, to: NodeId, bytes: u64) -> SimTime {
+        let now = sim.now().as_ns();
+        let cpu = self.cfg.per_msg_cpu.as_ns();
+        if from == to {
+            let lo = &self.nodes[from].loopback;
+            let (_, end) = lo.reserve_after(now + cpu, bytes);
+            return SimTime::from_ns(end + 200); // shared-memory handoff
+        }
+        let tx = &self.nodes[from].tx;
+        let rx = &self.nodes[to].rx;
+        let wire = self.cfg.wire_latency.as_ns();
+        let mut remaining = bytes;
+        let mut done = now + cpu + wire; // covers the zero-byte case
+        let mut first = true;
+        while remaining > 0 || first {
+            let frame = remaining.min(self.cfg.frame);
+            let earliest = if first { now + cpu } else { now };
+            let (_, tx_end) = tx.reserve_after(earliest, frame);
+            let (_, rx_end) = rx.reserve_after(tx_end + wire, frame);
+            done = rx_end;
+            remaining -= frame;
+            first = false;
+        }
+        SimTime::from_ns(done)
+    }
+
+    /// Total bytes ejected at `node` (received).
+    pub fn rx_bytes(&self, node: NodeId) -> u64 {
+        self.nodes[node].rx.bytes_total()
+    }
+    /// Total bytes injected at `node` (sent).
+    pub fn tx_bytes(&self, node: NodeId) -> u64 {
+        self.nodes[node].tx.bytes_total()
+    }
+}
+
+// ----------------------------------------------------------------- RPC
+
+/// An in-flight RPC delivered to a handler, with a reply slot.
+pub struct Incoming<Req, Rsp> {
+    /// Originating node.
+    pub from: NodeId,
+    /// The request body.
+    pub req: Req,
+    /// Payload size the caller attached (already charged on the wire).
+    pub bulk_in: u64,
+    reply: daos_sim::sync::OneshotSender<(Rsp, u64)>,
+}
+
+impl<Req, Rsp> Incoming<Req, Rsp> {
+    /// Complete the RPC. `bulk_out` is the size of any bulk payload carried
+    /// by the response (e.g. read data); it is charged on the reply path.
+    pub fn respond(self, rsp: Rsp, bulk_out: u64) {
+        self.reply.send((rsp, bulk_out));
+    }
+}
+
+/// A mailbox-backed RPC endpoint bound to one fabric node.
+///
+/// Servers `serve()` requests; clients `call()` them. Request and response
+/// wire costs are charged on the fabric, including bulk payloads, which is
+/// how RDMA transfers appear at flow level.
+pub struct Endpoint<Req, Rsp> {
+    fabric: Rc<Fabric>,
+    node: NodeId,
+    inbox: daos_sim::Mailbox<Incoming<Req, Rsp>>,
+    /// Fixed request header size on the wire.
+    header: u64,
+    calls: RefCell<u64>,
+}
+
+impl<Req: 'static, Rsp: 'static> Endpoint<Req, Rsp> {
+    /// Bind an endpoint to `node`.
+    pub fn bind(fabric: Rc<Fabric>, node: NodeId) -> Rc<Self> {
+        Rc::new(Endpoint {
+            fabric,
+            node,
+            inbox: daos_sim::Mailbox::new(),
+            header: 256,
+            calls: RefCell::new(0),
+        })
+    }
+
+    /// The node this endpoint is bound to.
+    pub fn node(&self) -> NodeId {
+        self.node
+    }
+
+    /// Number of calls served so far.
+    pub fn call_count(&self) -> u64 {
+        *self.calls.borrow()
+    }
+
+    /// Receive the next incoming RPC (server side). `None` once closed.
+    pub async fn serve(&self) -> Option<Incoming<Req, Rsp>> {
+        self.inbox.recv().await
+    }
+
+    /// Non-blocking receive: the next queued RPC, if any (poll-driven
+    /// servers such as the pool-service replica tick loop).
+    pub fn try_serve(&self) -> Option<Incoming<Req, Rsp>> {
+        self.inbox.try_recv()
+    }
+
+    /// Stop accepting new requests.
+    pub fn close(&self) {
+        self.inbox.close();
+    }
+
+    /// Issue an RPC from `from_node` to this endpoint.
+    ///
+    /// `bulk_in` bytes ride the request (write payloads); the response
+    /// carries whatever the handler attaches (read payloads).
+    pub async fn call(
+        &self,
+        sim: &Sim,
+        from_node: NodeId,
+        req: Req,
+        bulk_in: u64,
+    ) -> Result<Rsp, daos_sim::sync::Closed> {
+        *self.calls.borrow_mut() += 1;
+        self.fabric
+            .message(sim, from_node, self.node, self.header + bulk_in)
+            .await;
+        let (tx, rx) = daos_sim::oneshot();
+        self.inbox.send(Incoming {
+            from: from_node,
+            req,
+            bulk_in,
+            reply: tx,
+        });
+        let (rsp, bulk_out) = rx.await?;
+        self.fabric
+            .message(sim, self.node, from_node, self.header + bulk_out)
+            .await;
+        Ok(rsp)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use daos_sim::executor::join_all;
+    use daos_sim::units::{gib_per_sec, MIB};
+
+    fn fab(n: usize) -> Rc<Fabric> {
+        Fabric::new(n, FabricConfig::default())
+    }
+
+    #[test]
+    fn single_flow_reaches_line_rate() {
+        let mut sim = Sim::new(1);
+        let f = fab(2);
+        let secs = sim.block_on(|sim| {
+            let f = Rc::clone(&f);
+            async move {
+                let t0 = sim.now();
+                f.message(&sim, 0, 1, 256 * MIB).await;
+                (sim.now() - t0).as_secs_f64()
+            }
+        });
+        let gib_s = gib_per_sec(256 * MIB, secs);
+        let line = FabricConfig::default().link_bw.as_gib_per_sec();
+        assert!(gib_s > 0.95 * line, "got {gib_s} GiB/s, line {line}");
+        assert!(gib_s <= line * 1.01, "faster than line rate: {gib_s}");
+    }
+
+    #[test]
+    fn incast_shares_receiver_bandwidth() {
+        let mut sim = Sim::new(1);
+        let f = fab(3);
+        let secs = sim.block_on(|sim| {
+            let f = Rc::clone(&f);
+            async move {
+                let t0 = sim.now();
+                let futs: Vec<_> = (0..2)
+                    .map(|src| {
+                        let f = Rc::clone(&f);
+                        let s = sim.clone();
+                        async move {
+                            f.message(&s, src, 2, 64 * MIB).await;
+                        }
+                    })
+                    .collect();
+                join_all(&sim, futs).await;
+                (sim.now() - t0).as_secs_f64()
+            }
+        });
+        // 128 MiB through one rx at ~11.6 GiB/s: senders see ~half line rate each
+        let agg = gib_per_sec(128 * MIB, secs);
+        let line = FabricConfig::default().link_bw.as_gib_per_sec();
+        assert!(agg > 0.9 * line && agg <= line * 1.01, "agg {agg}, line {line}");
+    }
+
+    #[test]
+    fn disjoint_pairs_scale() {
+        let mut sim = Sim::new(1);
+        let f = fab(4);
+        let secs = sim.block_on(|sim| {
+            let f = Rc::clone(&f);
+            async move {
+                let t0 = sim.now();
+                let futs: Vec<_> = [(0usize, 1usize), (2, 3)]
+                    .into_iter()
+                    .map(|(a, b)| {
+                        let f = Rc::clone(&f);
+                        let s = sim.clone();
+                        async move {
+                            f.message(&s, a, b, 64 * MIB).await;
+                        }
+                    })
+                    .collect();
+                join_all(&sim, futs).await;
+                (sim.now() - t0).as_secs_f64()
+            }
+        });
+        let agg = gib_per_sec(128 * MIB, secs);
+        let line = FabricConfig::default().link_bw.as_gib_per_sec();
+        assert!(agg > 1.9 * line, "disjoint pairs should double: {agg}");
+    }
+
+    #[test]
+    fn zero_byte_message_costs_latency() {
+        let mut sim = Sim::new(1);
+        let f = fab(2);
+        let t = sim.block_on(|sim| {
+            let f = Rc::clone(&f);
+            async move {
+                f.message(&sim, 0, 1, 0).await;
+                sim.now()
+            }
+        });
+        let cfg = FabricConfig::default();
+        assert!(t.as_ns() >= cfg.wire_latency.as_ns());
+        assert!(t.as_ns() < 10_000, "{t}");
+    }
+
+    #[test]
+    fn loopback_faster_than_wire() {
+        let mut sim = Sim::new(1);
+        let f = fab(2);
+        let (lo, wire) = sim.block_on(|sim| {
+            let f = Rc::clone(&f);
+            async move {
+                let t0 = sim.now();
+                f.message(&sim, 0, 0, 16 * MIB).await;
+                let t1 = sim.now();
+                f.message(&sim, 0, 1, 16 * MIB).await;
+                let t2 = sim.now();
+                ((t1 - t0).as_ns(), (t2 - t1).as_ns())
+            }
+        });
+        assert!(lo < wire, "loopback {lo} should beat wire {wire}");
+    }
+
+    #[test]
+    fn rpc_round_trip_with_bulk() {
+        let mut sim = Sim::new(1);
+        let got = sim.block_on(|sim| async move {
+            let f = fab(2);
+            let ep: Rc<Endpoint<u32, u32>> = Endpoint::bind(Rc::clone(&f), 1);
+            let server = {
+                let ep = Rc::clone(&ep);
+                sim.spawn(async move {
+                    while let Some(inc) = ep.serve().await {
+                        let v = inc.req * 2;
+                        inc.respond(v, 1024);
+                    }
+                })
+            };
+            let r = ep.call(&sim, 0, 21, 4096).await.unwrap();
+            ep.close();
+            server.await;
+            r
+        });
+        assert_eq!(got, 42);
+    }
+
+    #[test]
+    fn rpc_server_drop_yields_closed() {
+        let mut sim = Sim::new(1);
+        let r = sim.block_on(|sim| async move {
+            let f = fab(2);
+            let ep: Rc<Endpoint<u32, u32>> = Endpoint::bind(Rc::clone(&f), 1);
+            // server takes the request then drops it without responding
+            let ep2 = Rc::clone(&ep);
+            sim.spawn(async move {
+                let inc = ep2.serve().await.unwrap();
+                drop(inc);
+            });
+            ep.call(&sim, 0, 1, 0).await
+        });
+        assert!(r.is_err());
+    }
+}

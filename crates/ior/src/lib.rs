@@ -1,0 +1,249 @@
+//! # daos-ior — a reimplementation of the IOR benchmark
+//!
+//! The paper's instrument (§III): every client process writes, then reads,
+//! `block_size` bytes in `transfer_size` blocking operations, either to its
+//! own file (*easy* / file-per-process, `-F`) or to a single shared file
+//! (*hard*), through one of the access APIs under study:
+//!
+//! | IOR `-a` | here | path to DAOS |
+//! |----------|------|--------------|
+//! | `POSIX`  | [`Api::Posix`]  | DFuse mount (optionally the interception library) |
+//! | `DFS`    | [`Api::Dfs`]    | `libdfs` |
+//! | `MPIIO`  | [`Api::Mpiio`]  | ROMIO UFS driver over DFuse |
+//! | `HDF5`   | [`Api::Hdf5`]   | mini-HDF5 over `sec2`(DFuse) / `mpio` |
+//! | `DAOS`   | [`Api::DaosArray`] | native `daos_array` (the paper's future work) |
+//!
+//! Offsets follow IOR's *segmented* layout: in shared mode rank `r`,
+//! segment `s` covers `(s*ranks + r) * block_size`. Phase times are the
+//! barrier-to-barrier makespan over all ranks, like IOR's reported
+//! bandwidth.
+//!
+//! [`mdtest`] adds an mdtest-style metadata benchmark (create/stat/unlink
+//! rates), covering the paper's metadata-performance motivation (§I).
+
+pub mod daos_env;
+pub mod mdtest;
+pub mod pfs_run;
+pub mod runner;
+
+pub use daos_env::DaosTestbed;
+pub use mdtest::{mdtest, mdtest_pfs, MdBackend, MdtestReport};
+pub use pfs_run::run_pfs;
+pub use runner::run;
+
+use daos_placement::ObjectClass;
+use daos_sim::time::SimDuration;
+use daos_sim::units::gib_per_sec;
+
+/// Access API under test.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Api {
+    /// POSIX through the DFuse mount; `il` enables the interception library.
+    Posix { il: bool },
+    /// Native `libdfs`.
+    Dfs,
+    /// MPI-IO over the DFuse mount; `collective` uses `write_at_all`.
+    Mpiio { collective: bool },
+    /// HDF5: `sec2` VFD (DFuse) in file-per-process mode, `mpio` VFD with
+    /// collective transfers for the shared file — IOR/HDF5 convention.
+    Hdf5,
+    /// The native DAOS array API.
+    DaosArray,
+}
+
+impl Api {
+    /// IOR's `-a` name.
+    pub fn name(&self) -> &'static str {
+        match self {
+            Api::Posix { il: false } => "POSIX",
+            Api::Posix { il: true } => "POSIX+IL",
+            Api::Dfs => "DFS",
+            Api::Mpiio { .. } => "MPIIO",
+            Api::Hdf5 => "HDF5",
+            Api::DaosArray => "DAOS",
+        }
+    }
+}
+
+/// One IOR invocation's parameters.
+#[derive(Clone, Copy, Debug)]
+pub struct IorParams {
+    pub api: Api,
+    /// `-t`: bytes per I/O call.
+    pub transfer_size: u64,
+    /// `-b`: bytes per rank per segment.
+    pub block_size: u64,
+    /// `-s`: segments.
+    pub segments: u32,
+    /// `-F`: file per process (the paper's *easy* mode) vs shared (*hard*).
+    pub file_per_process: bool,
+    /// Processes per client node.
+    pub ppn: u32,
+    /// DAOS object class for created files.
+    pub oclass: ObjectClass,
+    /// DFS chunk size for created files.
+    pub chunk_size: u64,
+    /// Verify contents on read-back (tests; costs host time).
+    pub verify: bool,
+    pub do_write: bool,
+    pub do_read: bool,
+    /// `-z`: issue transfers in a random (deterministic, seeded) order
+    /// instead of sequentially.
+    pub random_offsets: bool,
+    /// `-C`: in file-per-process read phases, rank r reads the file written
+    /// by rank (r+1) mod N — IOR's cache-defeating reorder.
+    pub reorder_read: bool,
+    /// `-D`-style stonewall: stop a phase once this much simulated time has
+    /// elapsed; bandwidth reflects the bytes actually moved.
+    pub stonewall: Option<SimDuration>,
+}
+
+impl IorParams {
+    /// The paper's bulk-I/O configuration: 1 MiB transfers, 16 MiB blocks.
+    pub fn paper_default(api: Api, oclass: ObjectClass, fpp: bool, ppn: u32) -> Self {
+        IorParams {
+            api,
+            transfer_size: 1 << 20,
+            block_size: 16 << 20,
+            segments: 1,
+            file_per_process: fpp,
+            ppn,
+            oclass,
+            chunk_size: 1 << 20,
+            verify: false,
+            do_write: true,
+            do_read: true,
+            random_offsets: false,
+            reorder_read: false,
+            stonewall: None,
+        }
+    }
+
+    /// Total bytes moved per phase across all ranks.
+    pub fn total_bytes(&self, client_nodes: u32) -> u64 {
+        self.block_size * self.segments as u64 * self.ppn as u64 * client_nodes as u64
+    }
+
+    /// Transfers per rank per segment.
+    pub fn transfers_per_block(&self) -> u64 {
+        assert!(
+            self.block_size % self.transfer_size == 0,
+            "block size must be a multiple of transfer size"
+        );
+        self.block_size / self.transfer_size
+    }
+
+    /// Byte offset of `(rank, segment, transfer)` in the target file.
+    pub fn offset(&self, ranks: u64, rank: u64, segment: u64, transfer: u64) -> u64 {
+        let base = if self.file_per_process {
+            segment * self.block_size
+        } else {
+            (segment * ranks + rank) * self.block_size
+        };
+        base + transfer * self.transfer_size
+    }
+}
+
+/// Results of one IOR run.
+#[derive(Clone, Copy, Debug)]
+pub struct IorReport {
+    pub ranks: u32,
+    pub client_nodes: u32,
+    pub total_bytes: u64,
+    /// Bytes actually written (may be less than `total_bytes` under a
+    /// stonewall deadline).
+    pub bytes_written: u64,
+    /// Bytes actually read.
+    pub bytes_read: u64,
+    pub write_time: SimDuration,
+    pub read_time: SimDuration,
+}
+
+impl IorReport {
+    /// Write bandwidth in GiB/s (stonewall-aware).
+    pub fn write_gib_s(&self) -> f64 {
+        gib_per_sec(self.bytes_written, self.write_time.as_secs_f64())
+    }
+    /// Read bandwidth in GiB/s (stonewall-aware).
+    pub fn read_gib_s(&self) -> f64 {
+        gib_per_sec(self.bytes_read, self.read_time.as_secs_f64())
+    }
+}
+
+/// Deterministic data seed for `(rank, segment, transfer)`.
+pub fn data_seed(rank: u64, segment: u64, transfer: u64) -> u64 {
+    daos_placement::splitmix64(rank ^ (segment << 24) ^ (transfer << 44) ^ 0x10D0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn params(fpp: bool) -> IorParams {
+        IorParams {
+            api: Api::Dfs,
+            transfer_size: 4,
+            block_size: 16,
+            segments: 2,
+            file_per_process: fpp,
+            ppn: 2,
+            oclass: ObjectClass::S1,
+            chunk_size: 1 << 20,
+            verify: false,
+            do_write: true,
+            do_read: true,
+            random_offsets: false,
+            reorder_read: false,
+            stonewall: None,
+        }
+    }
+
+    #[test]
+    fn segmented_offsets_shared() {
+        let p = params(false);
+        // ranks=4: rank 1, segment 0, transfer 2 -> 1*16 + 2*4
+        assert_eq!(p.offset(4, 1, 0, 2), 24);
+        // segment 1 starts after all ranks' blocks
+        assert_eq!(p.offset(4, 0, 1, 0), 64);
+        assert_eq!(p.offset(4, 3, 1, 3), 64 + 48 + 12);
+    }
+
+    #[test]
+    fn fpp_offsets_ignore_rank() {
+        let p = params(true);
+        assert_eq!(p.offset(4, 3, 0, 1), 4);
+        assert_eq!(p.offset(4, 3, 1, 0), 16);
+    }
+
+    #[test]
+    fn offsets_tile_the_file_exactly_once() {
+        let p = params(false);
+        let ranks = 4u64;
+        let mut seen = std::collections::BTreeSet::new();
+        for r in 0..ranks {
+            for s in 0..p.segments as u64 {
+                for k in 0..p.transfers_per_block() {
+                    let off = p.offset(ranks, r, s, k);
+                    assert!(seen.insert(off), "offset {off} written twice");
+                }
+            }
+        }
+        let total: u64 = ranks * p.segments as u64 * p.block_size;
+        assert_eq!(seen.len() as u64, total / p.transfer_size);
+        assert_eq!(*seen.iter().max().unwrap(), total - p.transfer_size);
+    }
+
+    #[test]
+    fn total_bytes_accounting() {
+        let p = params(false);
+        assert_eq!(p.total_bytes(3), 16 * 2 * 2 * 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "multiple")]
+    fn misaligned_transfer_rejected() {
+        let mut p = params(false);
+        p.transfer_size = 5;
+        let _ = p.transfers_per_block();
+    }
+}

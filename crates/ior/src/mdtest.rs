@@ -1,0 +1,200 @@
+//! An mdtest-style metadata benchmark: per-rank create / stat / unlink
+//! storms, covering the paper's §I motivation (object stores vs POSIX
+//! metadata scalability).
+
+use std::rc::Rc;
+
+use daos_placement::ObjectClass;
+use daos_sim::executor::join_all;
+use daos_sim::time::SimDuration;
+use daos_sim::Sim;
+
+use crate::daos_env::DaosTestbed;
+
+/// Which layer the metadata ops go through.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum MdBackend {
+    /// Native `libdfs` calls.
+    Dfs,
+    /// POSIX through DFuse.
+    Dfuse,
+}
+
+/// Rates from one mdtest run.
+#[derive(Clone, Copy, Debug)]
+pub struct MdtestReport {
+    pub ranks: u32,
+    pub files_per_rank: u32,
+    pub create_time: SimDuration,
+    pub stat_time: SimDuration,
+    pub unlink_time: SimDuration,
+}
+
+impl MdtestReport {
+    fn rate(&self, t: SimDuration) -> f64 {
+        let ops = self.ranks as f64 * self.files_per_rank as f64;
+        if t.as_secs_f64() == 0.0 {
+            0.0
+        } else {
+            ops / t.as_secs_f64()
+        }
+    }
+    /// File creates per second.
+    pub fn creates_per_s(&self) -> f64 {
+        self.rate(self.create_time)
+    }
+    /// Stats per second.
+    pub fn stats_per_s(&self) -> f64 {
+        self.rate(self.stat_time)
+    }
+    /// Unlinks per second.
+    pub fn unlinks_per_s(&self) -> f64 {
+        self.rate(self.unlink_time)
+    }
+}
+
+/// Run mdtest on a DAOS testbed: each rank creates, stats, then unlinks
+/// `files_per_rank` zero-byte files in its own directory.
+pub async fn mdtest(
+    sim: &Sim,
+    env: &Rc<DaosTestbed>,
+    backend: MdBackend,
+    ppn: u32,
+    files_per_rank: u32,
+) -> Result<MdtestReport, daos_core::DaosError> {
+    let ranks = env.client_nodes() * ppn;
+
+    // setup: per-rank directories
+    for r in 0..ranks {
+        let node = env.node_of_rank(r, ppn) as usize;
+        match backend {
+            MdBackend::Dfs => env.dfs[node].mkdir(sim, &format!("/md.{r}")).await?,
+            MdBackend::Dfuse => env.dfuse[node].mkdir(sim, &format!("/md.{r}")).await?,
+        }
+    }
+
+    async fn phase(
+        sim: &Sim,
+        env: &Rc<DaosTestbed>,
+        backend: MdBackend,
+        ppn: u32,
+        ranks: u32,
+        files: u32,
+        op: u8,
+    ) -> Result<SimDuration, daos_core::DaosError> {
+        let t0 = sim.now();
+        let futs: Vec<_> = (0..ranks)
+            .map(|r| {
+                let env = Rc::clone(env);
+                let sim = sim.clone();
+                async move {
+                    let node = env.node_of_rank(r, ppn) as usize;
+                    for i in 0..files {
+                        let path = format!("/md.{r}/f.{i:06}");
+                        match (backend, op) {
+                            (MdBackend::Dfs, 0) => {
+                                env.dfs[node]
+                                    .create(&sim, &path, ObjectClass::S1, 1 << 20)
+                                    .await?;
+                            }
+                            (MdBackend::Dfs, 1) => {
+                                env.dfs[node].stat(&sim, &path).await?;
+                            }
+                            (MdBackend::Dfs, _) => {
+                                env.dfs[node].unlink(&sim, &path).await?;
+                            }
+                            (MdBackend::Dfuse, 0) => {
+                                env.dfuse[node]
+                                    .open(&sim, &path, daos_dfuse::OpenFlags::create())
+                                    .await?;
+                            }
+                            (MdBackend::Dfuse, 1) => {
+                                env.dfuse[node].stat(&sim, &path).await?;
+                            }
+                            (MdBackend::Dfuse, _) => {
+                                env.dfuse[node].unlink(&sim, &path).await?;
+                            }
+                        }
+                    }
+                    Ok::<(), daos_core::DaosError>(())
+                }
+            })
+            .collect();
+        for r in join_all(sim, futs).await {
+            r?;
+        }
+        Ok(sim.now() - t0)
+    }
+
+    let create_time = phase(sim, env, backend, ppn, ranks, files_per_rank, 0).await?;
+    let stat_time = phase(sim, env, backend, ppn, ranks, files_per_rank, 1).await?;
+    let unlink_time = phase(sim, env, backend, ppn, ranks, files_per_rank, 2).await?;
+
+    Ok(MdtestReport {
+        ranks,
+        files_per_rank,
+        create_time,
+        stat_time,
+        unlink_time,
+    })
+}
+
+/// mdtest on the PFS baseline (every op is an MDS round trip).
+pub async fn mdtest_pfs(
+    sim: &Sim,
+    fs: &Rc<daos_pfs::Pfs>,
+    ppn: u32,
+    files_per_rank: u32,
+) -> Result<MdtestReport, String> {
+    let ranks = fs.config().client_nodes * ppn;
+
+    async fn phase(
+        sim: &Sim,
+        fs: &Rc<daos_pfs::Pfs>,
+        ppn: u32,
+        ranks: u32,
+        files: u32,
+        op: u8,
+    ) -> Result<SimDuration, String> {
+        let t0 = sim.now();
+        let futs: Vec<_> = (0..ranks)
+            .map(|r| {
+                let fs = Rc::clone(fs);
+                let sim = sim.clone();
+                async move {
+                    for i in 0..files {
+                        let path = format!("/md.{r}/f.{i:06}");
+                        match op {
+                            0 => {
+                                fs.open(&sim, r / ppn, r as u64, &path, true).await?;
+                            }
+                            1 => {
+                                fs.stat(&sim, r / ppn, &path).await?;
+                            }
+                            _ => {
+                                fs.unlink(&sim, r / ppn, &path).await?;
+                            }
+                        }
+                    }
+                    Ok::<(), String>(())
+                }
+            })
+            .collect();
+        for r in join_all(sim, futs).await {
+            r?;
+        }
+        Ok(sim.now() - t0)
+    }
+
+    let create_time = phase(sim, fs, ppn, ranks, files_per_rank, 0).await?;
+    let stat_time = phase(sim, fs, ppn, ranks, files_per_rank, 1).await?;
+    let unlink_time = phase(sim, fs, ppn, ranks, files_per_rank, 2).await?;
+
+    Ok(MdtestReport {
+        ranks,
+        files_per_rank,
+        create_time,
+        stat_time,
+        unlink_time,
+    })
+}

@@ -1,0 +1,283 @@
+//! The replicated log, with a compaction base.
+//!
+//! Indices are global and 1-based. After compaction the log keeps entries
+//! `(base_index, last_index]` in memory plus a [`Snapshot`] summarising
+//! everything up to `base_index`.
+
+use crate::{Index, Term};
+
+/// One replicated log entry carrying an application command.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Entry<C> {
+    pub term: Term,
+    pub index: Index,
+    pub cmd: C,
+}
+
+/// An opaque snapshot of the application state machine up to `last_index`.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Snapshot {
+    pub last_index: Index,
+    pub last_term: Term,
+    /// Serialized application state (opaque to RAFT).
+    pub data: Vec<u8>,
+}
+
+impl Snapshot {
+    /// The empty snapshot at index 0.
+    pub fn empty() -> Self {
+        Snapshot {
+            last_index: 0,
+            last_term: 0,
+            data: Vec::new(),
+        }
+    }
+}
+
+/// In-memory log with a snapshot base.
+#[derive(Clone, Debug)]
+pub struct Log<C> {
+    entries: Vec<Entry<C>>,
+    snapshot: Snapshot,
+}
+
+impl<C: Clone> Log<C> {
+    /// An empty log.
+    pub fn new() -> Self {
+        Log {
+            entries: Vec::new(),
+            snapshot: Snapshot::empty(),
+        }
+    }
+
+    /// Index of the last entry (or snapshot base if empty).
+    pub fn last_index(&self) -> Index {
+        self.entries
+            .last()
+            .map(|e| e.index)
+            .unwrap_or(self.snapshot.last_index)
+    }
+
+    /// Term of the last entry (or snapshot base term).
+    pub fn last_term(&self) -> Term {
+        self.entries
+            .last()
+            .map(|e| e.term)
+            .unwrap_or(self.snapshot.last_term)
+    }
+
+    /// First index still present in memory (base + 1).
+    pub fn first_index(&self) -> Index {
+        self.snapshot.last_index + 1
+    }
+
+    /// Term of entry at `idx`, if known (snapshot base counts).
+    pub fn term_at(&self, idx: Index) -> Option<Term> {
+        if idx == 0 {
+            return Some(0);
+        }
+        if idx == self.snapshot.last_index {
+            return Some(self.snapshot.last_term);
+        }
+        self.get(idx).map(|e| e.term)
+    }
+
+    /// Entry at global index `idx`, if in memory.
+    pub fn get(&self, idx: Index) -> Option<&Entry<C>> {
+        if idx < self.first_index() || idx > self.last_index() {
+            return None;
+        }
+        let off = (idx - self.first_index()) as usize;
+        self.entries.get(off)
+    }
+
+    /// Append one entry at the tail (leader path). Returns its index.
+    pub fn append(&mut self, term: Term, cmd: C) -> Index {
+        let index = self.last_index() + 1;
+        self.entries.push(Entry { term, index, cmd });
+        index
+    }
+
+    /// Entries in `(after, last]` up to `max` of them (replication batch).
+    pub fn entries_from(&self, after: Index, max: usize) -> Vec<Entry<C>> {
+        let mut out = Vec::new();
+        let mut idx = after + 1;
+        while idx <= self.last_index() && out.len() < max {
+            match self.get(idx) {
+                Some(e) => out.push(e.clone()),
+                None => break, // compacted away; caller falls back to snapshot
+            }
+            idx += 1;
+        }
+        out
+    }
+
+    /// Follower-side append: verify continuity at `prev`, truncate any
+    /// conflicting suffix, then splice `new` in. Caller has already checked
+    /// `prev` consistency via `term_at`.
+    pub fn splice(&mut self, new: Vec<Entry<C>>) {
+        for e in new {
+            match self.term_at(e.index) {
+                Some(t) if t == e.term => continue, // already have it
+                Some(_) => {
+                    // conflict: drop this entry and everything after
+                    let keep = (e.index - self.first_index()) as usize;
+                    self.entries.truncate(keep);
+                    self.entries.push(e);
+                }
+                None => {
+                    debug_assert_eq!(e.index, self.last_index() + 1, "log gap");
+                    self.entries.push(e);
+                }
+            }
+        }
+    }
+
+    /// Drop entries `<= upto`, recording `snap` as the new base.
+    pub fn compact(&mut self, snap: Snapshot) {
+        let upto = snap.last_index;
+        if upto <= self.snapshot.last_index {
+            return;
+        }
+        let first = self.first_index();
+        let drop_n = ((upto + 1).saturating_sub(first) as usize).min(self.entries.len());
+        self.entries.drain(..drop_n);
+        self.snapshot = snap;
+    }
+
+    /// Replace the whole log with an installed snapshot (follower far behind).
+    pub fn restore(&mut self, snap: Snapshot) {
+        self.entries.clear();
+        self.snapshot = snap;
+    }
+
+    /// The current snapshot base.
+    pub fn snapshot(&self) -> &Snapshot {
+        &self.snapshot
+    }
+
+    /// Number of entries held in memory.
+    pub fn len_in_memory(&self) -> usize {
+        self.entries.len()
+    }
+}
+
+impl<C: Clone> Default for Log<C> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn filled() -> Log<u32> {
+        let mut l = Log::new();
+        for i in 0..5u32 {
+            l.append(1, i);
+        }
+        l
+    }
+
+    #[test]
+    fn append_and_get() {
+        let l = filled();
+        assert_eq!(l.last_index(), 5);
+        assert_eq!(l.last_term(), 1);
+        assert_eq!(l.get(3).unwrap().cmd, 2);
+        assert_eq!(l.get(0), None);
+        assert_eq!(l.get(6), None);
+    }
+
+    #[test]
+    fn splice_appends_new() {
+        let mut l = filled();
+        l.splice(vec![Entry {
+            term: 2,
+            index: 6,
+            cmd: 99,
+        }]);
+        assert_eq!(l.last_index(), 6);
+        assert_eq!(l.last_term(), 2);
+    }
+
+    #[test]
+    fn splice_truncates_conflicts() {
+        let mut l = filled();
+        // entry 4 conflicts (different term): 4 and 5 must be replaced
+        l.splice(vec![
+            Entry {
+                term: 2,
+                index: 4,
+                cmd: 77,
+            },
+            Entry {
+                term: 2,
+                index: 5,
+                cmd: 78,
+            },
+        ]);
+        assert_eq!(l.get(4).unwrap().cmd, 77);
+        assert_eq!(l.get(5).unwrap().cmd, 78);
+        assert_eq!(l.last_index(), 5);
+    }
+
+    #[test]
+    fn splice_idempotent_for_duplicates() {
+        let mut l = filled();
+        l.splice(vec![Entry {
+            term: 1,
+            index: 3,
+            cmd: 2,
+        }]);
+        assert_eq!(l.last_index(), 5, "duplicate must not truncate tail");
+    }
+
+    #[test]
+    fn compact_drops_prefix() {
+        let mut l = filled();
+        l.compact(Snapshot {
+            last_index: 3,
+            last_term: 1,
+            data: vec![1],
+        });
+        assert_eq!(l.first_index(), 4);
+        assert_eq!(l.last_index(), 5);
+        assert_eq!(l.get(3), None);
+        assert_eq!(l.term_at(3), Some(1)); // base term still answerable
+        assert_eq!(l.get(4).unwrap().cmd, 3);
+        // compacting backwards is a no-op
+        l.compact(Snapshot {
+            last_index: 1,
+            last_term: 1,
+            data: vec![],
+        });
+        assert_eq!(l.first_index(), 4);
+    }
+
+    #[test]
+    fn restore_replaces_everything() {
+        let mut l = filled();
+        l.restore(Snapshot {
+            last_index: 10,
+            last_term: 3,
+            data: vec![9],
+        });
+        assert_eq!(l.last_index(), 10);
+        assert_eq!(l.last_term(), 3);
+        assert_eq!(l.len_in_memory(), 0);
+        let idx = l.append(4, 1);
+        assert_eq!(idx, 11);
+    }
+
+    #[test]
+    fn entries_from_respects_bounds() {
+        let l = filled();
+        let es = l.entries_from(2, 2);
+        assert_eq!(es.len(), 2);
+        assert_eq!(es[0].index, 3);
+        assert_eq!(es[1].index, 4);
+        assert!(l.entries_from(5, 10).is_empty());
+    }
+}

@@ -1,0 +1,47 @@
+//! Regression test for the RAFT figure-8 liveness scenario, found by the
+//! workspace property suite (`tests/tests/prop_consensus.rs`):
+//!
+//! An entry replicated under term 1 commits on a majority; a partition then
+//! lets a *different* majority member that also holds the entry win term 2.
+//! The new leader may not commit prior-term entries by counting replicas
+//! (§5.4.2), so without a new-term entry the cluster wedges: part of the
+//! cluster has applied the entry, the leader never learns it committed.
+//! The fix is the standard no-op barrier appended on election.
+
+use daos_raft::testing::Cluster;
+
+#[test]
+fn new_leader_commits_prior_term_entries_via_noop() {
+    let mut c: Cluster<u32> = Cluster::new(5, 7176434468569780011);
+    c.run(40);
+    assert!(c.leader().is_some());
+    assert!(c.propose(3220).is_some());
+    // partition two nodes away mid-replication, run, heal
+    c.partition(&[1, 2]);
+    c.run(16);
+    c.heal();
+    c.run(400);
+    // every replica must have applied exactly the one proposed command
+    for (id, log) in &c.applied {
+        assert_eq!(log.len(), 1, "node {id} applied {} entries", log.len());
+        assert_eq!(log[0].cmd, 3220);
+    }
+    c.assert_election_safety();
+    c.assert_applied_prefix_consistency();
+}
+
+#[test]
+fn leaderless_cluster_with_stale_entry_still_converges() {
+    // variant: the old leader itself is partitioned before commit
+    let mut c: Cluster<u32> = Cluster::new(5, 0xF1688);
+    let l = c.run_until_leader(300);
+    assert!(c.propose(77).is_some());
+    c.partition(&[l]);
+    c.run(120);
+    c.heal();
+    c.run(600);
+    c.assert_election_safety();
+    c.assert_applied_prefix_consistency();
+    let lens: std::collections::BTreeSet<usize> = c.applied.values().map(|v| v.len()).collect();
+    assert_eq!(lens.len(), 1, "replicas diverged: {lens:?}");
+}

@@ -1,0 +1,605 @@
+//! The virtual-time async executor.
+//!
+//! Tasks are plain `Future<Output = ()>` boxes polled on a single host
+//! thread. Time only advances when every runnable task has been polled to
+//! quiescence: the executor then pops the earliest timer from a binary heap,
+//! jumps the clock to it, and wakes the sleeper. Scheduling is strictly
+//! ordered by `(deadline, registration sequence)` and the ready queue is
+//! FIFO, so runs are deterministic.
+
+use std::cell::{Cell, RefCell};
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+use std::collections::VecDeque;
+use std::future::Future;
+use std::pin::Pin;
+use std::rc::Rc;
+use std::sync::Arc;
+use std::task::{Context, Poll, Wake, Waker};
+
+use parking_lot::Mutex;
+use rand::{Rng, RngCore, SeedableRng};
+use rand_chacha::ChaCha8Rng;
+
+use crate::time::{SimDuration, SimTime};
+
+type TaskFuture = Pin<Box<dyn Future<Output = ()> + 'static>>;
+
+/// FIFO queue of runnable task ids, shared with wakers.
+///
+/// Wakers must be `Send + Sync` even though the executor is single-threaded,
+/// hence the (uncontended) mutex.
+struct ReadyQueue {
+    queue: Mutex<VecDeque<usize>>,
+}
+
+impl ReadyQueue {
+    fn push(&self, id: usize) {
+        self.queue.lock().push_back(id);
+    }
+    fn pop(&self) -> Option<usize> {
+        self.queue.lock().pop_front()
+    }
+}
+
+struct TaskWaker {
+    id: usize,
+    ready: Arc<ReadyQueue>,
+}
+
+impl Wake for TaskWaker {
+    fn wake(self: Arc<Self>) {
+        self.ready.push(self.id);
+    }
+    fn wake_by_ref(self: &Arc<Self>) {
+        self.ready.push(self.id);
+    }
+}
+
+/// A timer heap entry; ordered by `(deadline, seq)` so ties break by
+/// registration order and the run is deterministic.
+struct TimerEnt {
+    at: u64,
+    seq: u64,
+    waker: Waker,
+}
+
+impl PartialEq for TimerEnt {
+    fn eq(&self, other: &Self) -> bool {
+        (self.at, self.seq) == (other.at, other.seq)
+    }
+}
+impl Eq for TimerEnt {}
+impl PartialOrd for TimerEnt {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for TimerEnt {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        (self.at, self.seq).cmp(&(other.at, other.seq))
+    }
+}
+
+struct TaskSlot {
+    future: TaskFuture,
+    waker: Waker,
+}
+
+struct Inner {
+    now: Cell<u64>,
+    timer_seq: Cell<u64>,
+    timers: RefCell<BinaryHeap<Reverse<TimerEnt>>>,
+    ready: Arc<ReadyQueue>,
+    tasks: RefCell<Vec<Option<TaskSlot>>>,
+    free: RefCell<Vec<usize>>,
+    live_tasks: Cell<usize>,
+    spawned_total: Cell<u64>,
+    rng: RefCell<ChaCha8Rng>,
+    seed: u64,
+}
+
+/// A handle to the simulation: clock, scheduler and RNG.
+///
+/// `Sim` is a cheap reference-counted handle; clone it freely into tasks.
+/// It is *not* `Send` — a simulation lives on one thread (parallelism comes
+/// from running many independent `Sim`s, one per parameter point).
+#[derive(Clone)]
+pub struct Sim {
+    inner: Rc<Inner>,
+}
+
+/// Result slot shared between a spawned task and its [`JoinHandle`].
+struct JoinState<T> {
+    result: Option<T>,
+    waker: Option<Waker>,
+    finished: bool,
+}
+
+/// Awaitable completion of a spawned task. Dropping it detaches the task.
+pub struct JoinHandle<T> {
+    state: Rc<RefCell<JoinState<T>>>,
+}
+
+impl<T> Future for JoinHandle<T> {
+    type Output = T;
+    fn poll(self: Pin<&mut Self>, cx: &mut Context<'_>) -> Poll<T> {
+        let mut st = self.state.borrow_mut();
+        if let Some(v) = st.result.take() {
+            return Poll::Ready(v);
+        }
+        assert!(!st.finished, "JoinHandle polled after completion");
+        st.waker = Some(cx.waker().clone());
+        Poll::Pending
+    }
+}
+
+impl Sim {
+    /// Create a fresh simulation with a deterministic RNG seed.
+    pub fn new(seed: u64) -> Self {
+        Sim {
+            inner: Rc::new(Inner {
+                now: Cell::new(0),
+                timer_seq: Cell::new(0),
+                timers: RefCell::new(BinaryHeap::new()),
+                ready: Arc::new(ReadyQueue {
+                    queue: Mutex::new(VecDeque::new()),
+                }),
+                tasks: RefCell::new(Vec::new()),
+                free: RefCell::new(Vec::new()),
+                live_tasks: Cell::new(0),
+                spawned_total: Cell::new(0),
+                rng: RefCell::new(ChaCha8Rng::seed_from_u64(seed)),
+                seed,
+            }),
+        }
+    }
+
+    /// Current simulated time.
+    #[inline]
+    pub fn now(&self) -> SimTime {
+        SimTime(self.inner.now.get())
+    }
+
+    /// The seed this simulation was created with.
+    #[inline]
+    pub fn seed(&self) -> u64 {
+        self.inner.seed
+    }
+
+    /// Number of tasks that have been spawned over the sim's lifetime.
+    pub fn spawned_total(&self) -> u64 {
+        self.inner.spawned_total.get()
+    }
+
+    /// Number of tasks currently alive (not yet completed).
+    pub fn live_tasks(&self) -> usize {
+        self.inner.live_tasks.get()
+    }
+
+    /// Spawn a task; it runs concurrently (in virtual time) with its parent.
+    pub fn spawn<T: 'static>(&self, fut: impl Future<Output = T> + 'static) -> JoinHandle<T> {
+        let state = Rc::new(RefCell::new(JoinState {
+            result: None,
+            waker: None,
+            finished: false,
+        }));
+        let st2 = Rc::clone(&state);
+        let wrapped = async move {
+            let out = fut.await;
+            let mut st = st2.borrow_mut();
+            st.result = Some(out);
+            st.finished = true;
+            if let Some(w) = st.waker.take() {
+                w.wake();
+            }
+        };
+        let id = {
+            let mut tasks = self.inner.tasks.borrow_mut();
+            let id = self.inner.free.borrow_mut().pop().unwrap_or_else(|| {
+                tasks.push(None);
+                tasks.len() - 1
+            });
+            let waker = Waker::from(Arc::new(TaskWaker {
+                id,
+                ready: Arc::clone(&self.inner.ready),
+            }));
+            tasks[id] = Some(TaskSlot {
+                future: Box::pin(wrapped),
+                waker,
+            });
+            id
+        };
+        self.inner.live_tasks.set(self.inner.live_tasks.get() + 1);
+        self.inner.spawned_total.set(self.inner.spawned_total.get() + 1);
+        self.inner.ready.push(id);
+        JoinHandle { state }
+    }
+
+    /// Register `waker` to fire at absolute time `at`.
+    pub(crate) fn register_timer(&self, at: SimTime, waker: Waker) {
+        let seq = self.inner.timer_seq.get();
+        self.inner.timer_seq.set(seq + 1);
+        self.inner.timers.borrow_mut().push(Reverse(TimerEnt {
+            at: at.0,
+            seq,
+            waker,
+        }));
+    }
+
+    /// Sleep for `dur` of simulated time.
+    pub fn sleep(&self, dur: SimDuration) -> Sleep {
+        self.sleep_until(self.now() + dur)
+    }
+
+    /// Sleep until the absolute instant `at` (no-op if already past).
+    pub fn sleep_until(&self, at: SimTime) -> Sleep {
+        Sleep {
+            sim: self.clone(),
+            deadline: at,
+            registered: false,
+        }
+    }
+
+    /// Convenience: sleep a number of nanoseconds.
+    pub fn sleep_ns(&self, ns: u64) -> Sleep {
+        self.sleep(SimDuration::from_ns(ns))
+    }
+    /// Convenience: sleep a number of microseconds.
+    pub fn sleep_us(&self, us: u64) -> Sleep {
+        self.sleep(SimDuration::from_us(us))
+    }
+    /// Convenience: sleep a number of milliseconds.
+    pub fn sleep_ms(&self, ms: u64) -> Sleep {
+        self.sleep(SimDuration::from_ms(ms))
+    }
+
+    /// Yield to other runnable tasks at the current instant.
+    pub fn yield_now(&self) -> YieldNow {
+        YieldNow { polled: false }
+    }
+
+    /// Uniform random `u64`.
+    pub fn rand_u64(&self) -> u64 {
+        self.inner.rng.borrow_mut().next_u64()
+    }
+    /// Uniform random float in `[0, 1)`.
+    pub fn rand_f64(&self) -> f64 {
+        self.inner.rng.borrow_mut().gen::<f64>()
+    }
+    /// Uniform random integer in `[0, n)`.
+    pub fn rand_below(&self, n: u64) -> u64 {
+        assert!(n > 0);
+        self.inner.rng.borrow_mut().gen_range(0..n)
+    }
+    /// Exponentially distributed duration with the given mean (for jitter).
+    pub fn rand_exp(&self, mean: SimDuration) -> SimDuration {
+        let u: f64 = self.inner.rng.borrow_mut().gen_range(f64::EPSILON..1.0);
+        SimDuration::from_secs_f64(-mean.as_secs_f64() * u.ln())
+    }
+    /// Derive an independent, deterministic RNG stream for a component.
+    pub fn derive_rng(&self, tag: u64) -> ChaCha8Rng {
+        ChaCha8Rng::seed_from_u64(self.inner.seed.wrapping_mul(0x9E37_79B9_7F4A_7C15) ^ tag)
+    }
+
+    fn poll_task(&self, id: usize) {
+        let slot = self.inner.tasks.borrow_mut()[id].take();
+        let Some(mut slot) = slot else {
+            return; // stale wake of a finished task
+        };
+        let mut cx = Context::from_waker(&slot.waker);
+        match slot.future.as_mut().poll(&mut cx) {
+            Poll::Ready(()) => {
+                self.inner.free.borrow_mut().push(id);
+                self.inner.live_tasks.set(self.inner.live_tasks.get() - 1);
+            }
+            Poll::Pending => {
+                self.inner.tasks.borrow_mut()[id] = Some(slot);
+            }
+        }
+    }
+
+    fn drain_ready(&self) {
+        while let Some(id) = self.inner.ready.pop() {
+            self.poll_task(id);
+        }
+    }
+
+    /// Run until no runnable tasks and no pending timers remain.
+    ///
+    /// Returns the number of tasks still alive (blocked forever — usually
+    /// server loops waiting on mailboxes, or a deadlock if unexpected).
+    pub fn run_until_quiescent(&self) -> usize {
+        loop {
+            self.drain_ready();
+            let ent = self.inner.timers.borrow_mut().pop();
+            match ent {
+                Some(Reverse(ent)) => {
+                    debug_assert!(ent.at >= self.inner.now.get(), "time went backwards");
+                    self.inner.now.set(ent.at);
+                    ent.waker.wake();
+                }
+                None => break,
+            }
+        }
+        self.inner.live_tasks.get()
+    }
+
+    /// Spawn `f(sim)` as the root task and run until it completes.
+    ///
+    /// Background tasks that are still blocked when the root finishes are
+    /// dropped (this is how server loops are torn down), breaking any
+    /// `Sim`-handle reference cycles they hold.
+    ///
+    /// Panics if the simulation goes quiescent before the root completes —
+    /// that is a deadlock in the simulated system.
+    pub fn block_on<T: 'static, F, Fut>(&mut self, f: F) -> T
+    where
+        F: FnOnce(Sim) -> Fut,
+        Fut: Future<Output = T> + 'static,
+    {
+        let handle = self.spawn(f(self.clone()));
+        loop {
+            self.drain_ready();
+            if handle.state.borrow().finished {
+                break;
+            }
+            let ent = self.inner.timers.borrow_mut().pop();
+            match ent {
+                Some(Reverse(ent)) => {
+                    debug_assert!(ent.at >= self.inner.now.get(), "time went backwards");
+                    self.inner.now.set(ent.at);
+                    ent.waker.wake();
+                }
+                None => panic!(
+                    "simulation deadlock: root task blocked with no pending events \
+                     ({} tasks alive at {})",
+                    self.inner.live_tasks.get(),
+                    self.now()
+                ),
+            }
+        }
+        // Tear down survivors so Rc cycles through captured Sim handles break.
+        self.inner.tasks.borrow_mut().clear();
+        self.inner.free.borrow_mut().clear();
+        self.inner.live_tasks.set(0);
+        let out = handle.state.borrow_mut().result.take();
+        out.expect("root task finished without storing a result")
+    }
+}
+
+/// Future returned by [`Sim::sleep`] / [`Sim::sleep_until`].
+pub struct Sleep {
+    sim: Sim,
+    deadline: SimTime,
+    registered: bool,
+}
+
+impl Future for Sleep {
+    type Output = ();
+    fn poll(mut self: Pin<&mut Self>, cx: &mut Context<'_>) -> Poll<()> {
+        if self.sim.now() >= self.deadline {
+            return Poll::Ready(());
+        }
+        if !self.registered {
+            self.registered = true;
+            let deadline = self.deadline;
+            self.sim.register_timer(deadline, cx.waker().clone());
+        }
+        Poll::Pending
+    }
+}
+
+/// Future returned by [`Sim::yield_now`].
+pub struct YieldNow {
+    polled: bool,
+}
+
+impl Future for YieldNow {
+    type Output = ();
+    fn poll(mut self: Pin<&mut Self>, cx: &mut Context<'_>) -> Poll<()> {
+        if self.polled {
+            Poll::Ready(())
+        } else {
+            self.polled = true;
+            cx.waker().wake_by_ref();
+            Poll::Pending
+        }
+    }
+}
+
+/// Await every future in `futs`, concurrently, collecting outputs in order.
+///
+/// This is the kernel's `join_all`: each future is spawned as its own task so
+/// they genuinely interleave in virtual time.
+pub async fn join_all<T: 'static, F>(sim: &Sim, futs: Vec<F>) -> Vec<T>
+where
+    F: Future<Output = T> + 'static,
+{
+    let handles: Vec<JoinHandle<T>> = futs.into_iter().map(|f| sim.spawn(f)).collect();
+    let mut out = Vec::with_capacity(handles.len());
+    for h in handles {
+        out.push(h.await);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::cell::RefCell;
+    use std::rc::Rc;
+
+    #[test]
+    fn time_starts_at_zero_and_advances() {
+        let mut sim = Sim::new(1);
+        let t = sim.block_on(|sim| async move {
+            assert_eq!(sim.now(), SimTime::ZERO);
+            sim.sleep_us(10).await;
+            sim.sleep_us(5).await;
+            sim.now()
+        });
+        assert_eq!(t, SimTime::from_us(15));
+    }
+
+    #[test]
+    fn spawned_tasks_interleave() {
+        let mut sim = Sim::new(1);
+        let log = Rc::new(RefCell::new(Vec::new()));
+        let l2 = Rc::clone(&log);
+        sim.block_on(move |sim| async move {
+            let l = Rc::clone(&l2);
+            let s = sim.clone();
+            let h1 = sim.spawn({
+                let l = Rc::clone(&l);
+                let s = s.clone();
+                async move {
+                    s.sleep_us(2).await;
+                    l.borrow_mut().push("b");
+                }
+            });
+            let h2 = sim.spawn({
+                let l = Rc::clone(&l);
+                let s = s.clone();
+                async move {
+                    s.sleep_us(1).await;
+                    l.borrow_mut().push("a");
+                }
+            });
+            h1.await;
+            h2.await;
+            l2.borrow_mut().push("done");
+        });
+        assert_eq!(*log.borrow(), vec!["a", "b", "done"]);
+    }
+
+    #[test]
+    fn join_all_orders_results() {
+        let mut sim = Sim::new(7);
+        let vals = sim.block_on(|sim| async move {
+            let futs: Vec<_> = (0..10u64)
+                .map(|i| {
+                    let s = sim.clone();
+                    async move {
+                        // later indices sleep *less*, finishing first
+                        s.sleep_us(10 - i).await;
+                        i
+                    }
+                })
+                .collect();
+            join_all(&sim, futs).await
+        });
+        assert_eq!(vals, (0..10).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn same_deadline_fifo_order() {
+        let mut sim = Sim::new(1);
+        let log = Rc::new(RefCell::new(Vec::new()));
+        let l2 = Rc::clone(&log);
+        sim.block_on(move |sim| async move {
+            let mut handles = Vec::new();
+            for i in 0..5 {
+                let s = sim.clone();
+                let l = Rc::clone(&l2);
+                handles.push(sim.spawn(async move {
+                    s.sleep_us(3).await;
+                    l.borrow_mut().push(i);
+                }));
+            }
+            for h in handles {
+                h.await;
+            }
+        });
+        assert_eq!(*log.borrow(), vec![0, 1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn determinism_same_seed_same_schedule() {
+        fn run(seed: u64) -> Vec<u64> {
+            let mut sim = Sim::new(seed);
+            sim.block_on(|sim| async move {
+                let futs: Vec<_> = (0..20u64)
+                    .map(|i| {
+                        let s = sim.clone();
+                        async move {
+                            let jitter = s.rand_below(1000);
+                            s.sleep_ns(jitter).await;
+                            s.now().as_ns() ^ i
+                        }
+                    })
+                    .collect();
+                join_all(&sim, futs).await
+            })
+        }
+        assert_eq!(run(99), run(99));
+        assert_ne!(run(99), run(100));
+    }
+
+    #[test]
+    #[should_panic(expected = "deadlock")]
+    fn deadlock_detected() {
+        let mut sim = Sim::new(1);
+        sim.block_on(|sim| async move {
+            // await a handle of a task that never finishes and nothing scheduled
+            let h = sim.spawn(std::future::pending::<()>());
+            h.await;
+        });
+    }
+
+    #[test]
+    fn background_tasks_dropped_after_root() {
+        let mut sim = Sim::new(1);
+        sim.block_on(|sim| async move {
+            let _detached = sim.spawn(std::future::pending::<()>());
+            sim.sleep_us(1).await;
+        });
+        assert_eq!(sim.live_tasks(), 0);
+    }
+
+    #[test]
+    fn run_until_quiescent_reports_blocked() {
+        let sim = Sim::new(1);
+        let _h = sim.spawn(std::future::pending::<()>());
+        let s = sim.clone();
+        let _h2 = sim.spawn(async move {
+            s.sleep_us(5).await;
+        });
+        let blocked = sim.run_until_quiescent();
+        assert_eq!(blocked, 1);
+        assert_eq!(sim.now(), SimTime::from_us(5));
+    }
+
+    #[test]
+    fn rand_exp_is_positive_with_sane_mean() {
+        let sim = Sim::new(3);
+        let mean = SimDuration::from_us(100);
+        let mut acc = 0u64;
+        for _ in 0..1000 {
+            let d = sim.rand_exp(mean);
+            acc += d.as_ns();
+        }
+        let avg = acc as f64 / 1000.0;
+        assert!((50_000.0..200_000.0).contains(&avg), "{avg}");
+    }
+
+    #[test]
+    fn yield_now_runs_peers_first() {
+        let mut sim = Sim::new(1);
+        let log = Rc::new(RefCell::new(Vec::new()));
+        let l2 = Rc::clone(&log);
+        sim.block_on(move |sim| async move {
+            let l = Rc::clone(&l2);
+            let peer = sim.spawn({
+                let l = Rc::clone(&l);
+                async move {
+                    l.borrow_mut().push("peer");
+                }
+            });
+            sim.yield_now().await;
+            l2.borrow_mut().push("root");
+            peer.await;
+        });
+        assert_eq!(*log.borrow(), vec!["peer", "root"]);
+    }
+}

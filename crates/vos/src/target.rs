@@ -1,0 +1,669 @@
+//! One VOS target: container/object/dkey/akey trees plus media-cost
+//! accounting.
+//!
+//! The data structures are mutated for real; the *time* each operation
+//! takes is charged against the target's [`MediaSet`] — payload bytes on
+//! the data path, index updates on the SCM write path. The index-cost model
+//! distinguishes hot (append-adjacent) from cold inserts: this is where
+//! wide object classes (`SX`) lose the write-combining that single-target
+//! classes enjoy, one of the mechanisms behind the paper's Figure 1(b).
+
+use std::cell::{Cell, RefCell};
+use std::collections::BTreeMap;
+use std::rc::Rc;
+
+use daos_media::{Device, MediaSet};
+use daos_sim::Sim;
+
+use crate::tree::{ExtentTree, ReadSeg, SingleValue};
+use crate::{Epoch, Key, Payload};
+
+/// Container id (DAOS uses UUIDs; dense u64 here).
+pub type ContId = u64;
+/// Object id as seen by VOS (opaque 128-bit).
+pub type ObjKey = u128;
+
+/// Index-maintenance cost model (counts of SCM index updates).
+#[derive(Clone, Copy, Debug)]
+pub struct VosConfig {
+    /// First write to an object shard on this target: allocate + format the
+    /// per-object tree root durably.
+    pub obj_create_ops: u64,
+    /// Insert of a dkey that is not adjacent to the previous insert
+    /// (full tree descent + possible node split).
+    pub dkey_cold_ops: u64,
+    /// Insert of the dkey immediately following the last one (append path,
+    /// cached rightmost leaf).
+    pub dkey_hot_ops: u64,
+    /// New akey under a dkey.
+    pub akey_ops: u64,
+    /// Extent-tree record insert, appending at the array tail.
+    pub extent_append_ops: u64,
+    /// Extent-tree record insert anywhere else.
+    pub extent_cold_ops: u64,
+    /// Bytes of index read charged per fetch descent.
+    pub fetch_index_bytes: u64,
+}
+
+impl Default for VosConfig {
+    fn default() -> Self {
+        VosConfig {
+            obj_create_ops: 6,
+            dkey_cold_ops: 3,
+            dkey_hot_ops: 1,
+            akey_ops: 1,
+            extent_append_ops: 1,
+            extent_cold_ops: 3,
+            fetch_index_bytes: 512,
+        }
+    }
+}
+
+/// Operation counters for one target.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct VosCounters {
+    pub updates: u64,
+    pub fetches: u64,
+    pub bytes_written: u64,
+    pub bytes_read: u64,
+    pub obj_creates: u64,
+    pub hot_dkey_inserts: u64,
+    pub cold_dkey_inserts: u64,
+    pub index_ops: u64,
+}
+
+enum AkeyStore {
+    Array {
+        tree: ExtentTree,
+        last_end: u64,
+    },
+    Single(SingleValue),
+}
+
+#[derive(Default)]
+struct DkeyStore {
+    akeys: BTreeMap<Key, AkeyStore>,
+}
+
+#[derive(Default)]
+struct ObjStore {
+    dkeys: BTreeMap<Key, DkeyStore>,
+    last_dkey: Option<Key>,
+    punched_at: Option<Epoch>,
+}
+
+#[derive(Default)]
+struct ContStore {
+    objects: BTreeMap<ObjKey, ObjStore>,
+}
+
+/// One VOS target (a media slice served by one engine xstream).
+pub struct VosTarget {
+    media: Rc<MediaSet>,
+    cfg: VosConfig,
+    containers: RefCell<BTreeMap<ContId, ContStore>>,
+    epoch: Cell<Epoch>,
+    counters: RefCell<VosCounters>,
+}
+
+impl VosTarget {
+    /// Create a target over `media`.
+    pub fn new(media: Rc<MediaSet>, cfg: VosConfig) -> Rc<Self> {
+        Rc::new(VosTarget {
+            media,
+            cfg,
+            containers: RefCell::new(BTreeMap::new()),
+            epoch: Cell::new(0),
+            counters: RefCell::new(VosCounters::default()),
+        })
+    }
+
+    /// The media set behind this target.
+    pub fn media(&self) -> &Rc<MediaSet> {
+        &self.media
+    }
+
+    /// Snapshot of the counters.
+    pub fn counters(&self) -> VosCounters {
+        *self.counters.borrow()
+    }
+
+    /// Allocate the next local epoch (monotonic per target).
+    pub fn next_epoch(&self) -> Epoch {
+        let e = self.epoch.get() + 1;
+        self.epoch.set(e);
+        e
+    }
+
+    /// Allocate an HLC-style epoch: max(physical time, last + 1). DAOS
+    /// epochs are hybrid logical clocks, which makes them comparable
+    /// *across* targets — required for container snapshots.
+    pub fn next_epoch_at(&self, now_ns: u64) -> Epoch {
+        let e = now_ns.max(self.epoch.get() + 1);
+        self.epoch.set(e);
+        e
+    }
+
+    /// Highest epoch issued so far.
+    pub fn current_epoch(&self) -> Epoch {
+        self.epoch.get()
+    }
+
+    /// Ensure a container exists (idempotent).
+    pub fn open_container(&self, cid: ContId) {
+        self.containers.borrow_mut().entry(cid).or_default();
+    }
+
+    /// Whether the container holds any objects.
+    pub fn container_is_empty(&self, cid: ContId) -> bool {
+        self.containers
+            .borrow()
+            .get(&cid)
+            .map(|c| c.objects.is_empty())
+            .unwrap_or(true)
+    }
+
+    /// Write `data` into an array akey at `offset` with epoch `epoch`.
+    ///
+    /// Returns the number of index ops charged (for tests/ablation).
+    pub async fn update_array(
+        &self,
+        sim: &Sim,
+        cid: ContId,
+        oid: ObjKey,
+        dkey: &Key,
+        akey: &Key,
+        offset: u64,
+        epoch: Epoch,
+        data: Payload,
+    ) -> u64 {
+        let len = data.len();
+        let ops = {
+            let mut conts = self.containers.borrow_mut();
+            let cont = conts.entry(cid).or_default();
+            let mut ops = 0u64;
+            let obj = cont.objects.entry(oid).or_insert_with(|| {
+                ops += self.cfg.obj_create_ops;
+                ObjStore::default()
+            });
+            let hot_dkey = match (&obj.last_dkey, obj.dkeys.contains_key(dkey)) {
+                (_, true) => None, // existing dkey: no insert
+                (Some(last), false) => Some(last < dkey),
+                (None, false) => Some(true), // first dkey: append path
+            };
+            match hot_dkey {
+                Some(true) => ops += self.cfg.dkey_hot_ops,
+                Some(false) => ops += self.cfg.dkey_cold_ops,
+                None => {}
+            }
+            let mut c = self.counters.borrow_mut();
+            match hot_dkey {
+                Some(true) => c.hot_dkey_inserts += 1,
+                Some(false) => c.cold_dkey_inserts += 1,
+                None => {}
+            }
+            let dk = obj.dkeys.entry(dkey.clone()).or_default();
+            obj.last_dkey = Some(dkey.clone());
+            let ak = dk.akeys.entry(akey.clone()).or_insert_with(|| {
+                ops += self.cfg.akey_ops;
+                AkeyStore::Array {
+                    tree: ExtentTree::new(),
+                    last_end: 0,
+                }
+            });
+            match ak {
+                AkeyStore::Array { tree, last_end } => {
+                    ops += if offset == *last_end {
+                        self.cfg.extent_append_ops
+                    } else {
+                        self.cfg.extent_cold_ops
+                    };
+                    tree.insert(offset, epoch, data);
+                    *last_end = offset + len;
+                }
+                AkeyStore::Single(_) => panic!("akey type mismatch: single vs array"),
+            }
+            if c.obj_creates < u64::MAX {
+                // count object creation via ops delta marker below
+            }
+            c.updates += 1;
+            c.bytes_written += len;
+            c.index_ops += ops;
+            ops
+        };
+        self.media.write_payload(sim, len).await;
+        self.media.index_update(sim, ops).await;
+        ops
+    }
+
+    /// Read `[offset, offset+len)` from an array akey as of `epoch`.
+    pub async fn fetch_array(
+        &self,
+        sim: &Sim,
+        cid: ContId,
+        oid: ObjKey,
+        dkey: &Key,
+        akey: &Key,
+        offset: u64,
+        len: u64,
+        epoch: Epoch,
+    ) -> Vec<ReadSeg> {
+        let segs = {
+            let conts = self.containers.borrow();
+            conts
+                .get(&cid)
+                .and_then(|c| c.objects.get(&oid))
+                .filter(|o| o.punched_at.map(|p| epoch < p).unwrap_or(true))
+                .and_then(|o| o.dkeys.get(dkey))
+                .and_then(|d| d.akeys.get(akey))
+                .map(|a| match a {
+                    AkeyStore::Array { tree, .. } => tree.read(offset, len, epoch),
+                    AkeyStore::Single(_) => panic!("akey type mismatch: array vs single"),
+                })
+                .unwrap_or_else(|| {
+                    vec![ReadSeg {
+                        offset,
+                        len,
+                        data: None,
+                    }]
+                })
+        };
+        let data_bytes: u64 = segs.iter().filter(|s| s.data.is_some()).map(|s| s.len).sum();
+        {
+            let mut c = self.counters.borrow_mut();
+            c.fetches += 1;
+            c.bytes_read += data_bytes;
+        }
+        self.media
+            .scm()
+            .read(sim, self.cfg.fetch_index_bytes)
+            .await;
+        self.media.read_payload(sim, data_bytes).await;
+        segs
+    }
+
+    /// Upsert a single-value akey.
+    pub async fn update_single(
+        &self,
+        sim: &Sim,
+        cid: ContId,
+        oid: ObjKey,
+        dkey: &Key,
+        akey: &Key,
+        epoch: Epoch,
+        value: Payload,
+    ) {
+        let len = value.len();
+        let ops = {
+            let mut conts = self.containers.borrow_mut();
+            let cont = conts.entry(cid).or_default();
+            let mut ops = 0u64;
+            let obj = cont.objects.entry(oid).or_insert_with(|| {
+                ops += self.cfg.obj_create_ops;
+                ObjStore::default()
+            });
+            let new_dkey = !obj.dkeys.contains_key(dkey);
+            if new_dkey {
+                ops += self.cfg.dkey_cold_ops;
+            }
+            let dk = obj.dkeys.entry(dkey.clone()).or_default();
+            let ak = dk.akeys.entry(akey.clone()).or_insert_with(|| {
+                ops += self.cfg.akey_ops;
+                AkeyStore::Single(SingleValue::new())
+            });
+            match ak {
+                AkeyStore::Single(sv) => sv.update(epoch, value),
+                AkeyStore::Array { .. } => panic!("akey type mismatch: array vs single"),
+            }
+            let mut c = self.counters.borrow_mut();
+            c.updates += 1;
+            c.bytes_written += len;
+            c.index_ops += ops + 1;
+            ops + 1
+        };
+        self.media.write_payload(sim, len).await;
+        self.media.index_update(sim, ops).await;
+    }
+
+    /// Read a single-value akey as of `epoch`.
+    pub async fn fetch_single(
+        &self,
+        sim: &Sim,
+        cid: ContId,
+        oid: ObjKey,
+        dkey: &Key,
+        akey: &Key,
+        epoch: Epoch,
+    ) -> Option<Payload> {
+        let val = {
+            let conts = self.containers.borrow();
+            conts
+                .get(&cid)
+                .and_then(|c| c.objects.get(&oid))
+                .filter(|o| o.punched_at.map(|p| epoch < p).unwrap_or(true))
+                .and_then(|o| o.dkeys.get(dkey))
+                .and_then(|d| d.akeys.get(akey))
+                .and_then(|a| match a {
+                    AkeyStore::Single(sv) => sv.fetch(epoch).cloned(),
+                    AkeyStore::Array { .. } => panic!("akey type mismatch"),
+                })
+        };
+        let bytes = val.as_ref().map(|v| v.len()).unwrap_or(0);
+        {
+            let mut c = self.counters.borrow_mut();
+            c.fetches += 1;
+            c.bytes_read += bytes;
+        }
+        self.media
+            .scm()
+            .read(sim, self.cfg.fetch_index_bytes)
+            .await;
+        if bytes > 0 {
+            self.media.read_payload(sim, bytes).await;
+        }
+        val
+    }
+
+    /// Punch (logically zero) a byte range of an array akey at `epoch`.
+    pub async fn punch_array(
+        &self,
+        sim: &Sim,
+        cid: ContId,
+        oid: ObjKey,
+        dkey: &Key,
+        akey: &Key,
+        offset: u64,
+        len: u64,
+        epoch: Epoch,
+    ) {
+        {
+            let mut conts = self.containers.borrow_mut();
+            if let Some(ak) = conts
+                .get_mut(&cid)
+                .and_then(|c| c.objects.get_mut(&oid))
+                .and_then(|o| o.dkeys.get_mut(dkey))
+                .and_then(|d| d.akeys.get_mut(akey))
+            {
+                match ak {
+                    AkeyStore::Array { tree, .. } => tree.punch(offset, len, epoch),
+                    AkeyStore::Single(_) => panic!("akey type mismatch"),
+                }
+            }
+        }
+        self.media.index_update(sim, self.cfg.extent_cold_ops).await;
+    }
+
+    /// Punch a whole object at `epoch` (unlink).
+    pub async fn punch_object(&self, sim: &Sim, cid: ContId, oid: ObjKey, epoch: Epoch) {
+        {
+            let mut conts = self.containers.borrow_mut();
+            if let Some(obj) = conts.entry(cid).or_default().objects.get_mut(&oid) {
+                obj.punched_at = Some(epoch);
+            }
+        }
+        self.media.index_update(sim, 2).await;
+    }
+
+    /// List dkeys of an object (readdir). Charges one index read per key
+    /// batch of 64.
+    pub async fn list_dkeys(&self, sim: &Sim, cid: ContId, oid: ObjKey, epoch: Epoch) -> Vec<Key> {
+        let keys = {
+            let conts = self.containers.borrow();
+            conts
+                .get(&cid)
+                .and_then(|c| c.objects.get(&oid))
+                .filter(|o| o.punched_at.map(|p| epoch < p).unwrap_or(true))
+                .map(|o| o.dkeys.keys().cloned().collect::<Vec<_>>())
+                .unwrap_or_default()
+        };
+        let batches = (keys.len() as u64).div_ceil(64).max(1);
+        self.media
+            .scm()
+            .read(sim, batches * self.cfg.fetch_index_bytes)
+            .await;
+        keys
+    }
+
+    /// For array objects: the highest dkey on this target and the visible
+    /// byte size within it (array-size queries; the client combines across
+    /// shards knowing the chunk size). Charges one index read.
+    pub async fn array_max_chunk(
+        &self,
+        sim: &Sim,
+        cid: ContId,
+        oid: ObjKey,
+        akey: &Key,
+        epoch: Epoch,
+    ) -> Option<(Key, u64)> {
+        let out = {
+            let conts = self.containers.borrow();
+            conts
+                .get(&cid)
+                .and_then(|c| c.objects.get(&oid))
+                .filter(|o| o.punched_at.map(|p| epoch < p).unwrap_or(true))
+                .and_then(|o| {
+                    o.dkeys.iter().rev().find_map(|(dk, d)| {
+                        d.akeys.get(akey).and_then(|a| match a {
+                            AkeyStore::Array { tree, .. } => {
+                                let sz = tree.size_at(epoch);
+                                (sz > 0).then(|| (dk.clone(), sz))
+                            }
+                            AkeyStore::Single(_) => None,
+                        })
+                    })
+                })
+        };
+        self.media
+            .scm()
+            .read(sim, self.cfg.fetch_index_bytes)
+            .await;
+        out
+    }
+
+    /// Containers present on this target.
+    pub fn container_ids(&self) -> Vec<ContId> {
+        self.containers.borrow().keys().copied().collect()
+    }
+
+    /// Run aggregation over every array akey in `cid` up to `epoch`;
+    /// returns reclaimed extent count. (Background service; instantaneous
+    /// in sim time — the paper's runs do not overlap aggregation windows.)
+    pub fn aggregate(&self, cid: ContId, epoch: Epoch) -> usize {
+        let mut reclaimed = 0;
+        if let Some(cont) = self.containers.borrow_mut().get_mut(&cid) {
+            for obj in cont.objects.values_mut() {
+                for dk in obj.dkeys.values_mut() {
+                    for ak in dk.akeys.values_mut() {
+                        match ak {
+                            AkeyStore::Array { tree, .. } => reclaimed += tree.aggregate(epoch),
+                            AkeyStore::Single(sv) => sv.aggregate(epoch),
+                        }
+                    }
+                }
+            }
+        }
+        reclaimed
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use daos_media::{Dcpmm, DcpmmConfig};
+
+    fn mk_target() -> (Sim, Rc<VosTarget>) {
+        let sim = Sim::new(5);
+        let scm = Dcpmm::new("pm", DcpmmConfig::default());
+        let t = VosTarget::new(MediaSet::scm_only(scm), VosConfig::default());
+        (sim, t)
+    }
+
+    #[test]
+    fn array_round_trip_with_costs() {
+        let (mut sim, t) = mk_target();
+        sim.block_on(|sim| {
+            let t = Rc::clone(&t);
+            async move {
+                let e = t.next_epoch();
+                let p = Payload::pattern(1, 4096);
+                t.update_array(&sim, 1, 42, &crate::key("d0"), &crate::key("a"), 0, e, p.clone())
+                    .await;
+                let segs = t
+                    .fetch_array(&sim, 1, 42, &crate::key("d0"), &crate::key("a"), 0, 4096, e)
+                    .await;
+                assert_eq!(segs.len(), 1);
+                assert_eq!(
+                    segs[0].data.as_ref().unwrap().materialize(),
+                    p.materialize()
+                );
+                assert!(sim.now().as_ns() > 0, "ops must cost simulated time");
+            }
+        });
+        let c = t.counters();
+        assert_eq!(c.updates, 1);
+        assert_eq!(c.fetches, 1);
+        assert_eq!(c.bytes_written, 4096);
+        assert_eq!(c.bytes_read, 4096);
+    }
+
+    #[test]
+    fn append_path_is_cheaper_than_scatter() {
+        let (mut sim, t) = mk_target();
+        let (seq_ops, scat_ops) = sim.block_on(|sim| {
+            let t = Rc::clone(&t);
+            async move {
+                let a = crate::key("a");
+                // sequential dkeys, contiguous offsets
+                let mut seq_ops = 0;
+                for i in 0..16u64 {
+                    let e = t.next_epoch();
+                    let dk = format!("{:08}", i).into_bytes();
+                    seq_ops += t
+                        .update_array(&sim, 1, 1, &dk, &a, 0, e, Payload::pattern(i, 1024))
+                        .await;
+                }
+                // scattered dkeys on a second object (reverse order)
+                let mut scat_ops = 0;
+                for i in (0..16u64).rev() {
+                    let e = t.next_epoch();
+                    let dk = format!("{:08}", i).into_bytes();
+                    scat_ops += t
+                        .update_array(&sim, 1, 2, &dk, &a, 512, e, Payload::pattern(i, 1024))
+                        .await;
+                }
+                (seq_ops, scat_ops)
+            }
+        });
+        assert!(
+            seq_ops < scat_ops,
+            "append path {seq_ops} must beat scatter {scat_ops}"
+        );
+    }
+
+    #[test]
+    fn single_value_round_trip() {
+        let (mut sim, t) = mk_target();
+        sim.block_on(|sim| {
+            let t = Rc::clone(&t);
+            async move {
+                let e1 = t.next_epoch();
+                t.update_single(&sim, 1, 9, &crate::key("d"), &crate::key("attr"), e1, Payload::bytes(vec![1, 2, 3]))
+                    .await;
+                let e2 = t.next_epoch();
+                t.update_single(&sim, 1, 9, &crate::key("d"), &crate::key("attr"), e2, Payload::bytes(vec![9]))
+                    .await;
+                let v1 = t
+                    .fetch_single(&sim, 1, 9, &crate::key("d"), &crate::key("attr"), e1)
+                    .await
+                    .unwrap();
+                assert_eq!(&v1.materialize()[..], &[1, 2, 3]);
+                let v2 = t
+                    .fetch_single(&sim, 1, 9, &crate::key("d"), &crate::key("attr"), e2)
+                    .await
+                    .unwrap();
+                assert_eq!(&v2.materialize()[..], &[9]);
+            }
+        });
+    }
+
+    #[test]
+    fn fetch_missing_yields_hole() {
+        let (mut sim, t) = mk_target();
+        sim.block_on(|sim| {
+            let t = Rc::clone(&t);
+            async move {
+                let segs = t
+                    .fetch_array(&sim, 1, 7, &crate::key("nope"), &crate::key("a"), 0, 128, 10)
+                    .await;
+                assert_eq!(segs.len(), 1);
+                assert!(segs[0].data.is_none());
+            }
+        });
+    }
+
+    #[test]
+    fn punched_object_is_invisible_after_epoch() {
+        let (mut sim, t) = mk_target();
+        sim.block_on(|sim| {
+            let t = Rc::clone(&t);
+            async move {
+                let e1 = t.next_epoch();
+                t.update_array(&sim, 1, 5, &crate::key("d"), &crate::key("a"), 0, e1, Payload::pattern(1, 64))
+                    .await;
+                let e2 = t.next_epoch();
+                t.punch_object(&sim, 1, 5, e2).await;
+                let e3 = t.next_epoch();
+                let segs = t
+                    .fetch_array(&sim, 1, 5, &crate::key("d"), &crate::key("a"), 0, 64, e3)
+                    .await;
+                assert!(segs[0].data.is_none(), "punched object must read as hole");
+                // reads as-of e1 still see it
+                let old = t
+                    .fetch_array(&sim, 1, 5, &crate::key("d"), &crate::key("a"), 0, 64, e1)
+                    .await;
+                assert!(old[0].data.is_some());
+            }
+        });
+    }
+
+    #[test]
+    fn list_dkeys_returns_sorted() {
+        let (mut sim, t) = mk_target();
+        let keys = sim.block_on(|sim| {
+            let t = Rc::clone(&t);
+            async move {
+                for name in ["zeta", "alpha", "mid"] {
+                    let e = t.next_epoch();
+                    t.update_single(&sim, 1, 3, &crate::key(name), &crate::key("v"), e, Payload::bytes(vec![0]))
+                        .await;
+                }
+                t.list_dkeys(&sim, 1, 3, t.current_epoch()).await
+            }
+        });
+        assert_eq!(keys, vec![crate::key("alpha"), crate::key("mid"), crate::key("zeta")]);
+    }
+
+    #[test]
+    fn aggregate_reclaims_overwrite_history() {
+        let (mut sim, t) = mk_target();
+        sim.block_on(|sim| {
+            let t = Rc::clone(&t);
+            async move {
+                for _ in 0..10 {
+                    let e = t.next_epoch();
+                    t.update_array(&sim, 1, 8, &crate::key("d"), &crate::key("a"), 0, e, Payload::pattern(e, 1024))
+                        .await;
+                }
+                let reclaimed = t.aggregate(1, t.current_epoch());
+                assert!(reclaimed >= 8, "should reclaim shadowed extents: {reclaimed}");
+                let segs = t
+                    .fetch_array(&sim, 1, 8, &crate::key("d"), &crate::key("a"), 0, 1024, t.current_epoch())
+                    .await;
+                assert_eq!(
+                    segs.iter().filter(|s| s.data.is_some()).map(|s| s.len).sum::<u64>(),
+                    1024
+                );
+            }
+        });
+    }
+}

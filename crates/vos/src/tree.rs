@@ -1,0 +1,492 @@
+//! Epoch-versioned value trees: the array extent tree and the single-value
+//! log.
+//!
+//! Reads are *as-of-epoch* overlays: an extent written at epoch `e` is
+//! visible to reads at `e' >= e` unless shadowed by a newer overlapping
+//! extent with epoch `<= e'`, or hidden by a punch.
+
+use crate::{Epoch, Payload};
+
+/// One recorded write (or punch, when `data` is `None`) into an array akey.
+#[derive(Clone, Debug)]
+pub struct Extent {
+    pub offset: u64,
+    pub len: u64,
+    pub epoch: Epoch,
+    /// Tie-break for writes in the same epoch (later insert wins).
+    pub minor: u64,
+    /// `None` models a punched hole.
+    pub data: Option<Payload>,
+}
+
+impl Extent {
+    fn end(&self) -> u64 {
+        self.offset + self.len
+    }
+}
+
+/// A segment of a read result: either data or a hole.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ReadSeg {
+    pub offset: u64,
+    pub len: u64,
+    /// `None` = never written (or punched): reads as zeroes.
+    pub data: Option<Payload>,
+}
+
+/// The epoch-versioned extent tree backing one array akey.
+///
+/// Kept as an insert-ordered vec; visibility queries overlay extents in
+/// `(epoch, minor)` order. Real VOS uses an R-tree in persistent memory;
+/// the semantics here are identical and the simulator charges index-update
+/// costs separately via [`crate::VosTarget`].
+#[derive(Clone, Debug, Default)]
+pub struct ExtentTree {
+    extents: Vec<Extent>,
+    next_minor: u64,
+}
+
+impl ExtentTree {
+    /// Empty tree.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Record a write of `data` at `offset` at `epoch`.
+    pub fn insert(&mut self, offset: u64, epoch: Epoch, data: Payload) {
+        let minor = self.next_minor;
+        self.next_minor += 1;
+        self.extents.push(Extent {
+            offset,
+            len: data.len(),
+            epoch,
+            minor,
+            data: Some(data),
+        });
+    }
+
+    /// Punch (logically zero) `[offset, offset+len)` at `epoch`.
+    pub fn punch(&mut self, offset: u64, len: u64, epoch: Epoch) {
+        let minor = self.next_minor;
+        self.next_minor += 1;
+        self.extents.push(Extent {
+            offset,
+            len,
+            epoch,
+            minor,
+            data: None,
+        });
+    }
+
+    /// Number of stored extents (index size; drives media index cost).
+    pub fn extent_count(&self) -> usize {
+        self.extents.len()
+    }
+
+    /// Highest offset visible *as data* at `epoch` (array size). Punches
+    /// count: truncating the tail shrinks the size.
+    pub fn size_at(&self, epoch: Epoch) -> u64 {
+        let span = self
+            .extents
+            .iter()
+            .filter(|e| e.epoch <= epoch)
+            .map(|e| e.end())
+            .max()
+            .unwrap_or(0);
+        if span == 0 {
+            return 0;
+        }
+        self.read(0, span, epoch)
+            .iter()
+            .rev()
+            .find(|s| s.data.is_some())
+            .map(|s| s.offset + s.len)
+            .unwrap_or(0)
+    }
+
+    /// Read `[offset, offset+len)` as of `epoch`, returning maximal
+    /// contiguous segments in order. Holes appear as `data: None`.
+    pub fn read(&self, offset: u64, len: u64, epoch: Epoch) -> Vec<ReadSeg> {
+        let qend = offset + len;
+        // visible extents in overlay order (older first, same epoch by minor)
+        let mut vis: Vec<&Extent> = self
+            .extents
+            .iter()
+            .filter(|e| e.epoch <= epoch && e.offset < qend && e.end() > offset)
+            .collect();
+        vis.sort_by_key(|e| (e.epoch, e.minor));
+
+        // paint: segment list covering the query range
+        #[derive(Clone)]
+        struct Seg {
+            start: u64,
+            end: u64,
+            src: Option<(usize, u64)>, // (index into vis, offset within extent)
+        }
+        let mut segs = vec![Seg {
+            start: offset,
+            end: qend,
+            src: None,
+        }];
+        for (i, e) in vis.iter().enumerate() {
+            let (es, ee) = (e.offset.max(offset), e.end().min(qend));
+            let mut out = Vec::with_capacity(segs.len() + 2);
+            for s in segs.drain(..) {
+                if s.end <= es || s.start >= ee {
+                    out.push(s);
+                    continue;
+                }
+                if s.start < es {
+                    out.push(Seg {
+                        start: s.start,
+                        end: es,
+                        src: s.src.clone(),
+                    });
+                }
+                out.push(Seg {
+                    start: s.start.max(es),
+                    end: s.end.min(ee),
+                    src: Some((i, s.start.max(es) - e.offset)),
+                });
+                if s.end > ee {
+                    let adj = s.src.map(|(idx, off)| (idx, off + (ee - s.start)));
+                    out.push(Seg {
+                        start: ee,
+                        end: s.end,
+                        src: adj,
+                    });
+                }
+            }
+            segs = out;
+            segs.sort_by_key(|s| s.start);
+        }
+
+        // coalesce fragments the paint loop split: adjacent pieces of the
+        // same extent (continuous source offset) and adjacent holes
+        let mut merged: Vec<Seg> = Vec::with_capacity(segs.len());
+        for s in segs.into_iter().filter(|s| s.end > s.start) {
+            if let Some(prev) = merged.last_mut() {
+                let contiguous = prev.end == s.start
+                    && match (&prev.src, &s.src) {
+                        (None, None) => true,
+                        (Some((pi, po)), Some((si, so))) => {
+                            pi == si && po + (prev.end - prev.start) == *so
+                        }
+                        _ => false,
+                    };
+                if contiguous {
+                    prev.end = s.end;
+                    continue;
+                }
+            }
+            merged.push(s);
+        }
+
+        merged
+            .into_iter()
+            .map(|s| {
+                let data = s.src.and_then(|(i, off)| {
+                    vis[i]
+                        .data
+                        .as_ref()
+                        .map(|p| p.slice(off, s.end - s.start))
+                });
+                ReadSeg {
+                    offset: s.start,
+                    len: s.end - s.start,
+                    data,
+                }
+            })
+            .collect()
+    }
+
+    /// Flatten history at or below `upto`: replace all extents with epoch
+    /// `<= upto` by the visible overlay at `upto` (epoch-tagged `upto`).
+    /// Returns the number of extents reclaimed. This is VOS aggregation.
+    pub fn aggregate(&mut self, upto: Epoch) -> usize {
+        let old: Vec<Extent> = self.extents.iter().filter(|e| e.epoch <= upto).cloned().collect();
+        if old.len() <= 1 {
+            return 0;
+        }
+        // the visible image over the old extents' full span
+        let lo = old.iter().map(|e| e.offset).min().unwrap();
+        let hi = old.iter().map(|e| e.end()).max().unwrap();
+        let image = self.read(lo, hi - lo, upto);
+        let newer: Vec<Extent> = self
+            .extents
+            .drain(..)
+            .filter(|e| e.epoch > upto)
+            .collect();
+        let reclaimed = old.len();
+        let mut added = 0usize;
+        for seg in image {
+            if let Some(d) = seg.data {
+                let minor = self.next_minor;
+                self.next_minor += 1;
+                self.extents.push(Extent {
+                    offset: seg.offset,
+                    len: seg.len,
+                    epoch: upto,
+                    minor,
+                    data: Some(d),
+                });
+                added += 1;
+            }
+        }
+        self.extents.extend(newer);
+        reclaimed.saturating_sub(added)
+    }
+}
+
+/// Epoch log of whole-value updates for a single-value akey.
+#[derive(Clone, Debug, Default)]
+pub struct SingleValue {
+    /// (epoch, value); `None` is a punch. Sorted by insertion (epochs
+    /// monotone in practice; we search for the max `<=` query epoch).
+    versions: Vec<(Epoch, Option<Payload>)>,
+}
+
+impl SingleValue {
+    /// Empty value.
+    pub fn new() -> Self {
+        Self::default()
+    }
+    /// Record an update at `epoch`.
+    pub fn update(&mut self, epoch: Epoch, value: Payload) {
+        self.versions.push((epoch, Some(value)));
+    }
+    /// Punch at `epoch`.
+    pub fn punch(&mut self, epoch: Epoch) {
+        self.versions.push((epoch, None));
+    }
+    /// The value visible at `epoch`.
+    pub fn fetch(&self, epoch: Epoch) -> Option<&Payload> {
+        self.versions
+            .iter()
+            .filter(|(e, _)| *e <= epoch)
+            .max_by_key(|(e, _)| *e)
+            .and_then(|(_, v)| v.as_ref())
+    }
+    /// Number of retained versions.
+    pub fn version_count(&self) -> usize {
+        self.versions.len()
+    }
+    /// Drop superseded versions at or below `upto`.
+    pub fn aggregate(&mut self, upto: Epoch) {
+        let keep_latest = self
+            .versions
+            .iter()
+            .enumerate()
+            .filter(|(_, (e, _))| *e <= upto)
+            .max_by_key(|(_, (e, _))| *e)
+            .map(|(i, _)| i);
+        if let Some(latest) = keep_latest {
+            let mut i = 0;
+            self.versions.retain(|(e, _)| {
+                let keep = *e > upto || i == latest;
+                i += 1;
+                keep
+            });
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn payload(tag: u64, len: u64) -> Payload {
+        Payload::pattern(tag, len)
+    }
+
+    /// Naive model: a byte map, for differential testing.
+    fn model_read(writes: &[(u64, Epoch, Vec<u8>)], off: u64, len: u64, epoch: Epoch) -> Vec<Option<u8>> {
+        let mut img: Vec<Option<u8>> = vec![None; (off + len) as usize];
+        for (woff, wep, data) in writes {
+            if *wep > epoch {
+                continue;
+            }
+            for (i, b) in data.iter().enumerate() {
+                let pos = *woff as usize + i;
+                if pos < img.len() {
+                    img[pos] = Some(*b);
+                }
+            }
+        }
+        img[off as usize..].to_vec()
+    }
+
+    fn tree_read_bytes(t: &ExtentTree, off: u64, len: u64, epoch: Epoch) -> Vec<Option<u8>> {
+        let mut out = vec![None; len as usize];
+        for seg in t.read(off, len, epoch) {
+            if let Some(d) = seg.data {
+                let m = d.materialize();
+                for i in 0..seg.len {
+                    out[(seg.offset - off + i) as usize] = Some(m[i as usize]);
+                }
+            }
+        }
+        out
+    }
+
+    #[test]
+    fn simple_write_read_round_trip() {
+        let mut t = ExtentTree::new();
+        let p = payload(1, 100);
+        t.insert(50, 1, p.clone());
+        let segs = t.read(50, 100, 1);
+        assert_eq!(segs.len(), 1);
+        assert_eq!(segs[0].data.as_ref().unwrap().materialize(), p.materialize());
+        assert_eq!(t.size_at(1), 150);
+        assert_eq!(t.size_at(0), 0);
+    }
+
+    #[test]
+    fn read_before_epoch_sees_nothing() {
+        let mut t = ExtentTree::new();
+        t.insert(0, 5, payload(1, 10));
+        let segs = t.read(0, 10, 4);
+        assert_eq!(segs.len(), 1);
+        assert!(segs[0].data.is_none());
+    }
+
+    #[test]
+    fn newer_extent_shadows_older() {
+        let mut t = ExtentTree::new();
+        t.insert(0, 1, payload(1, 100));
+        t.insert(25, 2, payload(2, 50));
+        let img = tree_read_bytes(&t, 0, 100, 2);
+        let old = payload(1, 100).materialize();
+        let new = payload(2, 50).materialize();
+        for i in 0..25 {
+            assert_eq!(img[i], Some(old[i]));
+        }
+        for i in 25..75 {
+            assert_eq!(img[i], Some(new[i - 25]));
+        }
+        for i in 75..100 {
+            assert_eq!(img[i], Some(old[i]));
+        }
+        // as-of epoch 1 still sees the old data intact
+        let img1 = tree_read_bytes(&t, 0, 100, 1);
+        for i in 0..100 {
+            assert_eq!(img1[i], Some(old[i]));
+        }
+    }
+
+    #[test]
+    fn same_epoch_later_minor_wins() {
+        let mut t = ExtentTree::new();
+        t.insert(0, 3, payload(1, 10));
+        t.insert(0, 3, payload(2, 10));
+        let img = tree_read_bytes(&t, 0, 10, 3);
+        let want = payload(2, 10).materialize();
+        for i in 0..10 {
+            assert_eq!(img[i], Some(want[i]));
+        }
+    }
+
+    #[test]
+    fn punch_hides_then_overwrite_restores() {
+        let mut t = ExtentTree::new();
+        t.insert(0, 1, payload(1, 100));
+        t.punch(20, 30, 2);
+        let img = tree_read_bytes(&t, 0, 100, 2);
+        for i in 20..50 {
+            assert_eq!(img[i], None);
+        }
+        assert_eq!(img[19], Some(payload(1, 100).materialize()[19]));
+        t.insert(30, 3, payload(3, 10));
+        let img3 = tree_read_bytes(&t, 25, 20, 3);
+        assert_eq!(img3[0], None); // 25..30 still hole
+        assert_eq!(img3[5], Some(payload(3, 10).materialize()[0]));
+    }
+
+    #[test]
+    fn differential_random_overlay() {
+        // hand-rolled xorshift for reproducibility
+        let mut s = 0x12345u64;
+        let mut rnd = move || {
+            s ^= s << 13;
+            s ^= s >> 7;
+            s ^= s << 17;
+            s
+        };
+        let mut t = ExtentTree::new();
+        let mut writes: Vec<(u64, Epoch, Vec<u8>)> = Vec::new();
+        for ep in 1..=40u64 {
+            let off = rnd() % 200;
+            let len = 1 + rnd() % 60;
+            let p = Payload::pattern(ep, len);
+            writes.push((off, ep, p.materialize().to_vec()));
+            t.insert(off, ep, p);
+        }
+        for q in [0u64, 10, 20, 40] {
+            let img = tree_read_bytes(&t, 0, 260, q);
+            let want = model_read(&writes, 0, 260, q);
+            assert_eq!(img, want, "mismatch at epoch {q}");
+        }
+    }
+
+    #[test]
+    fn aggregation_preserves_visible_image_and_reclaims() {
+        let mut t = ExtentTree::new();
+        // growing rewrites of the same region: the last one shadows all
+        for ep in 1..=20u64 {
+            t.insert(0, ep, payload(ep, 30 + ep));
+        }
+        let before = tree_read_bytes(&t, 0, 100, 20);
+        let n_before = t.extent_count();
+        let reclaimed = t.aggregate(20);
+        let after = tree_read_bytes(&t, 0, 100, 20);
+        assert_eq!(before, after);
+        assert!(t.extent_count() < n_before);
+        assert!(reclaimed > 0);
+    }
+
+    #[test]
+    fn aggregation_keeps_newer_epochs_untouched() {
+        let mut t = ExtentTree::new();
+        t.insert(0, 1, payload(1, 50));
+        t.insert(10, 2, payload(2, 20));
+        t.insert(0, 10, payload(10, 5));
+        t.aggregate(2);
+        let img10 = tree_read_bytes(&t, 0, 50, 10);
+        let want10 = {
+            let mut v = payload(1, 50).materialize().to_vec();
+            let p2 = payload(2, 20).materialize();
+            v[10..30].copy_from_slice(&p2);
+            let p10 = payload(10, 5).materialize();
+            v[0..5].copy_from_slice(&p10);
+            v
+        };
+        for i in 0..50 {
+            assert_eq!(img10[i], Some(want10[i]));
+        }
+    }
+
+    #[test]
+    fn single_value_epochs() {
+        let mut sv = SingleValue::new();
+        sv.update(5, payload(1, 8));
+        sv.update(9, payload(2, 8));
+        assert!(sv.fetch(4).is_none());
+        assert_eq!(sv.fetch(5).unwrap().materialize(), payload(1, 8).materialize());
+        assert_eq!(sv.fetch(100).unwrap().materialize(), payload(2, 8).materialize());
+        sv.punch(12);
+        assert!(sv.fetch(12).is_none());
+        assert!(sv.fetch(11).is_some());
+    }
+
+    #[test]
+    fn single_value_aggregate() {
+        let mut sv = SingleValue::new();
+        for e in 1..=10 {
+            sv.update(e, payload(e, 4));
+        }
+        sv.aggregate(8);
+        assert_eq!(sv.fetch(8).unwrap().materialize(), payload(8, 4).materialize());
+        assert_eq!(sv.fetch(10).unwrap().materialize(), payload(10, 4).materialize());
+        assert!(sv.version_count() <= 3);
+    }
+}

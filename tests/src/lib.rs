@@ -1,0 +1,2 @@
+//! Workspace-level integration tests live in `tests/tests/`; this crate
+//! has no library code of its own.

@@ -1,0 +1,115 @@
+//! Property-based tests of the RAFT implementation under randomised
+//! fault schedules: elections, message loss, delays and partitions must
+//! never violate election safety or state-machine safety, and the cluster
+//! must converge once conditions improve.
+
+use proptest::prelude::*;
+
+use daos_core::pool::{PoolOp, PoolState};
+use daos_raft::testing::Cluster;
+
+#[derive(Clone, Debug)]
+enum Fault {
+    /// Set the drop rate for a while.
+    Lossy(u8),
+    /// Partition a random prefix of nodes away.
+    Partition(u8),
+    /// Heal all partitions.
+    Heal,
+    /// Propose a command on the current leader.
+    Propose(u32),
+    /// Let time pass.
+    Run(u8),
+}
+
+fn fault_strategy() -> impl Strategy<Value = Fault> {
+    prop_oneof![
+        (0u8..40).prop_map(Fault::Lossy),
+        (1u8..3).prop_map(Fault::Partition),
+        Just(Fault::Heal),
+        any::<u32>().prop_map(Fault::Propose),
+        (5u8..40).prop_map(Fault::Run),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn raft_safety_under_random_faults(
+        seed in any::<u64>(),
+        script in prop::collection::vec(fault_strategy(), 4..24),
+    ) {
+        let mut c: Cluster<u32> = Cluster::new(5, seed);
+        c.run(40);
+        let mut proposed: Vec<u32> = Vec::new();
+        for fault in &script {
+            match fault {
+                Fault::Lossy(pct) => c.drop_rate = *pct as f64 / 100.0,
+                Fault::Partition(k) => {
+                    let group: Vec<u64> = (1..=*k as u64).collect();
+                    c.partition(&group);
+                }
+                Fault::Heal => c.heal(),
+                Fault::Propose(v) => {
+                    if c.propose(*v).is_some() {
+                        proposed.push(*v);
+                    }
+                }
+                Fault::Run(n) => c.run(*n as u64),
+            }
+            // SAFETY invariants hold at every step, faults or not
+            c.assert_election_safety();
+            c.assert_applied_prefix_consistency();
+        }
+        // LIVENESS: once healed and lossless, the cluster converges
+        c.heal();
+        c.drop_rate = 0.0;
+        c.run(400);
+        c.assert_election_safety();
+        c.assert_applied_prefix_consistency();
+        let lens: std::collections::BTreeSet<usize> =
+            c.applied.values().map(|v| v.len()).collect();
+        prop_assert_eq!(lens.len(), 1, "replicas did not converge: {:?}", lens);
+        // everything applied was actually proposed (no invented entries)
+        for log in c.applied.values() {
+            for e in log {
+                prop_assert!(proposed.contains(&e.cmd), "phantom entry {:?}", e.cmd);
+            }
+        }
+    }
+
+    #[test]
+    fn pool_state_snapshot_roundtrip(
+        conts in prop::collection::btree_set(any::<u64>(), 0..50),
+        connects in 0u64..100,
+    ) {
+        let mut st = PoolState::default();
+        for _ in 0..connects {
+            st.apply(&PoolOp::Connect, 4, 8);
+        }
+        for &c in &conts {
+            st.apply(&PoolOp::ContCreate(c), 4, 8);
+        }
+        let back = PoolState::from_bytes(&st.to_bytes());
+        prop_assert_eq!(st, back);
+    }
+
+    #[test]
+    fn pool_state_apply_is_deterministic(ops in prop::collection::vec((0u8..4, any::<u64>()), 0..60)) {
+        let run = |ops: &[(u8, u64)]| {
+            let mut st = PoolState::default();
+            for (k, c) in ops {
+                let op = match k {
+                    0 => PoolOp::Connect,
+                    1 => PoolOp::ContCreate(*c),
+                    2 => PoolOp::ContOpen(*c),
+                    _ => PoolOp::ContDestroy(*c),
+                };
+                st.apply(&op, 2, 2);
+            }
+            st
+        };
+        prop_assert_eq!(run(&ops), run(&ops));
+    }
+}
