@@ -60,7 +60,9 @@ fn bench_ior(c: &mut Criterion) {
             b.iter(|| black_box(one_run(api, true)))
         });
     }
-    g.bench_function("dfs_shared", |b| b.iter(|| black_box(one_run(Api::Dfs, false))));
+    g.bench_function("dfs_shared", |b| {
+        b.iter(|| black_box(one_run(Api::Dfs, false)))
+    });
     g.finish();
 }
 

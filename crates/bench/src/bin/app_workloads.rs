@@ -15,7 +15,9 @@ use daos_dfuse::{DfuseConfig, DfuseMount};
 use daos_placement::ObjectClass;
 use daos_sim::time::SimDuration;
 use daos_sim::Sim;
-use daos_workloads::{checkpoint, nwp, producer_consumer, Access, RankAccess, WorkloadParams, WorkloadReport};
+use daos_workloads::{
+    checkpoint, nwp, producer_consumer, Access, RankAccess, WorkloadParams, WorkloadReport,
+};
 
 const NODES: u32 = 4;
 
@@ -30,13 +32,18 @@ async fn accesses(sim: &Sim, which: Access) -> Vec<RankAccess> {
                 pool.open_or_create(sim, 5).await.unwrap(),
             )),
             Access::Dfs => out.push(RankAccess::Dfs(
-                Dfs::mount(sim, &pool, 5, DfsConfig::default(), i as u64).await.unwrap(),
+                Dfs::mount(sim, &pool, 5, DfsConfig::default(), i as u64)
+                    .await
+                    .unwrap(),
             )),
             Access::Posix => {
                 let fs = Dfs::mount(sim, &pool, 5, DfsConfig::default(), i as u64)
                     .await
                     .unwrap();
-                out.push(RankAccess::Posix(DfuseMount::new(fs, DfuseConfig::default())));
+                out.push(RankAccess::Posix(DfuseMount::new(
+                    fs,
+                    DfuseConfig::default(),
+                )));
             }
         }
     }

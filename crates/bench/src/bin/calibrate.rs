@@ -6,11 +6,7 @@ use daos_ior::Api;
 use daos_placement::ObjectClass;
 
 fn main() {
-    let apis = [
-        Api::Dfs,
-        Api::Mpiio { collective: false },
-        Api::Hdf5,
-    ];
+    let apis = [Api::Dfs, Api::Mpiio { collective: false }, Api::Hdf5];
     let classes = [ObjectClass::S1, ObjectClass::S2, ObjectClass::SX];
     let nodes = [1u32, 4, 16];
     let mut points = Vec::new();

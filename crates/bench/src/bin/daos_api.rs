@@ -52,6 +52,8 @@ fn main() {
     );
     check(
         "every file interface stays within 15% of the native API (bulk I/O)",
-        NODES.iter().all(|n| wr["POSIX-SX"][n] > 0.85 * wr["DAOS-SX"][n]),
+        NODES
+            .iter()
+            .all(|n| wr["POSIX-SX"][n] > 0.85 * wr["DAOS-SX"][n]),
     );
 }

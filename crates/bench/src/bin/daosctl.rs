@@ -31,7 +31,9 @@ fn parse_size(s: &str) -> u64 {
         x if x.ends_with('k') => (x[..x.len() - 1].to_string(), 1u64 << 10),
         x => (x, 1),
     };
-    num.parse::<u64>().unwrap_or_else(|_| die(&format!("bad size: {s}"))) * mult
+    num.parse::<u64>()
+        .unwrap_or_else(|_| die(&format!("bad size: {s}")))
+        * mult
 }
 
 fn die(msg: &str) -> ! {
@@ -50,10 +52,7 @@ impl Args {
         while i < raw.len() {
             let a = &raw[i];
             if let Some(name) = a.strip_prefix("--") {
-                let val = raw
-                    .get(i + 1)
-                    .filter(|v| !v.starts_with("--"))
-                    .cloned();
+                let val = raw.get(i + 1).filter(|v| !v.starts_with("--")).cloned();
                 if val.is_some() {
                     i += 1;
                 }
@@ -89,13 +88,25 @@ fn cmd_ior(args: &Args) {
     };
     let oclass = ObjectClass::parse(args.get("oclass").unwrap_or("SX"))
         .unwrap_or_else(|| die("bad --oclass"));
-    let nodes: u32 = args.get("nodes").unwrap_or("4").parse().unwrap_or_else(|_| die("bad --nodes"));
-    let ppn: u32 = args.get("ppn").unwrap_or("16").parse().unwrap_or_else(|_| die("bad --ppn"));
+    let nodes: u32 = args
+        .get("nodes")
+        .unwrap_or("4")
+        .parse()
+        .unwrap_or_else(|_| die("bad --nodes"));
+    let ppn: u32 = args
+        .get("ppn")
+        .unwrap_or("16")
+        .parse()
+        .unwrap_or_else(|_| die("bad --ppn"));
     let params = IorParams {
         api,
         transfer_size: parse_size(args.get("xfer").unwrap_or("1m")),
         block_size: parse_size(args.get("block").unwrap_or("32m")),
-        segments: args.get("segments").unwrap_or("1").parse().unwrap_or_else(|_| die("bad --segments")),
+        segments: args
+            .get("segments")
+            .unwrap_or("1")
+            .parse()
+            .unwrap_or_else(|_| die("bad --segments")),
         file_per_process: !args.has("shared"),
         ppn,
         oclass,
@@ -109,7 +120,11 @@ fn cmd_ior(args: &Args) {
             .get("stonewall-ms")
             .map(|v| SimDuration::from_ms(v.parse().unwrap_or_else(|_| die("bad --stonewall-ms")))),
     };
-    let seed: u64 = args.get("seed").unwrap_or("1").parse().unwrap_or_else(|_| die("bad --seed"));
+    let seed: u64 = args
+        .get("seed")
+        .unwrap_or("1")
+        .parse()
+        .unwrap_or_else(|_| die("bad --seed"));
 
     let mut sim = Sim::new(seed);
     let report = sim.block_on(move |sim| async move {
@@ -129,7 +144,11 @@ fn cmd_ior(args: &Args) {
         "api {:8} oclass {:8} {} | {} ranks on {} nodes",
         api.name(),
         oclass.name(),
-        if params.file_per_process { "fpp" } else { "shared" },
+        if params.file_per_process {
+            "fpp"
+        } else {
+            "shared"
+        },
         report.ranks,
         report.client_nodes,
     );
@@ -148,12 +167,19 @@ fn cmd_ior(args: &Args) {
 }
 
 fn cmd_pool(args: &Args) {
-    let nodes: u32 = args.get("nodes").unwrap_or("4").parse().unwrap_or_else(|_| die("bad --nodes"));
+    let nodes: u32 = args
+        .get("nodes")
+        .unwrap_or("4")
+        .parse()
+        .unwrap_or_else(|_| die("bad --nodes"));
     let mut sim = Sim::new(7);
     sim.block_on(move |sim| async move {
         let cluster = daos_core::Cluster::build(&sim, paper_cluster(nodes));
         let client = daos_core::DaosClient::new(Rc::clone(&cluster), 0);
-        client.connect(&sim).await.unwrap_or_else(|e| die(&format!("connect: {e}")));
+        client
+            .connect(&sim)
+            .await
+            .unwrap_or_else(|e| die(&format!("connect: {e}")));
         let cfg = &cluster.cfg;
         println!("pool ready at {} (leader elected)", sim.now());
         println!(
@@ -178,7 +204,11 @@ fn cmd_pool(args: &Args) {
 fn cmd_place(args: &Args) {
     let class = ObjectClass::parse(args.get("oclass").unwrap_or("S2"))
         .unwrap_or_else(|| die("bad --oclass"));
-    let count: u64 = args.get("count").unwrap_or("1000").parse().unwrap_or_else(|_| die("bad --count"));
+    let count: u64 = args
+        .get("count")
+        .unwrap_or("1000")
+        .parse()
+        .unwrap_or_else(|_| die("bad --count"));
     let map = PoolMap::new(16, 8);
     let layouts: Vec<_> = (0..count)
         .map(|i| place(ObjectId::new(i, i * 7 + 1), class, &map))

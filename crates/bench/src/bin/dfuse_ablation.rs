@@ -69,7 +69,12 @@ fn main() {
     ];
     let mut results = Vec::new();
     for (name, cfg) in &variants {
-        let (w, r) = point(*cfg, Api::Posix { il: cfg.interception });
+        let (w, r) = point(
+            *cfg,
+            Api::Posix {
+                il: cfg.interception,
+            },
+        );
         println!("{name},{w:.3},{r:.3}");
         results.push((*name, w, r));
     }

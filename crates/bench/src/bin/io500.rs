@@ -70,9 +70,7 @@ fn main() {
     for (n, v) in &md_rates {
         println!("{n:18} {v:10.3} kIOPS");
     }
-    let geo = |vals: &[f64]| {
-        (vals.iter().map(|v| v.ln()).sum::<f64>() / vals.len() as f64).exp()
-    };
+    let geo = |vals: &[f64]| (vals.iter().map(|v| v.ln()).sum::<f64>() / vals.len() as f64).exp();
     let bw_score = geo(&bw.iter().map(|(_, v)| *v).collect::<Vec<_>>());
     let md_score = geo(&md_rates.iter().map(|(_, v)| *v).collect::<Vec<_>>());
     let total = (bw_score * md_score).sqrt();

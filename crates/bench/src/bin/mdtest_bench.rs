@@ -7,7 +7,6 @@
 //! cargo run -p daos-bench --release --bin mdtest_bench
 //! ```
 
-
 use daos_bench::{check, paper_cluster};
 use daos_dfs::DfsConfig;
 use daos_dfuse::DfuseConfig;
@@ -30,7 +29,9 @@ fn daos_md(backend: MdBackend) -> MdtestReport {
         )
         .await
         .expect("testbed");
-        mdtest(&sim, &env, backend, PPN, FILES).await.expect("mdtest")
+        mdtest(&sim, &env, backend, PPN, FILES)
+            .await
+            .expect("mdtest")
     })
 }
 
@@ -67,7 +68,6 @@ fn main() {
     );
     check(
         "DFuse adds overhead over native DFS but stays well above the PFS",
-        dfuse.creates_per_s() <= dfs.creates_per_s()
-            && dfuse.creates_per_s() > pfs.creates_per_s(),
+        dfuse.creates_per_s() <= dfs.creates_per_s() && dfuse.creates_per_s() > pfs.creates_per_s(),
     );
 }

@@ -7,7 +7,6 @@
 //! cargo run -p daos-bench --release --bin pfs_contrast
 //! ```
 
-
 use daos_bench::{check, paper_cluster, paper_params};
 use daos_dfs::DfsConfig;
 use daos_dfuse::DfuseConfig;

@@ -7,7 +7,6 @@
 //! cargo run -p daos-bench --release --bin protection_sweep
 //! ```
 
-
 use daos_bench::{check, paper_cluster, paper_params};
 use daos_dfs::DfsConfig;
 use daos_dfuse::DfuseConfig;
@@ -148,13 +147,13 @@ fn main() {
         // lower amplification
         "protection ordering: S2 > EC_2P1 and RP_3 is the most expensive",
         w_of(ObjectClass::S2) > w_of(ObjectClass::EC_2P1GX)
-            && w_of(ObjectClass::Replicated { replicas: 3, groups: None })
-                < w_of(ObjectClass::RP_2GX),
+            && w_of(ObjectClass::Replicated {
+                replicas: 3,
+                groups: None,
+            }) < w_of(ObjectClass::RP_2GX),
     );
     check(
         "degraded reads stay within 2.5x of healthy (redundancy works)",
-        degraded
-            .iter()
-            .all(|(_, h, d)| *d > 0.0 && h / d < 2.5),
+        degraded.iter().all(|(_, h, d)| *d > 0.0 && h / d < 2.5),
     );
 }

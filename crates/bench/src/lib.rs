@@ -101,8 +101,10 @@ pub fn run_sweep(points: Vec<ExperimentPoint>, fpp: bool, ppn: u32, seed: u64) -
         .min(points.len().max(1));
     let mut results: Vec<Option<Measurement>> = (0..points.len()).map(|_| None).collect();
     let next = std::sync::atomic::AtomicUsize::new(0);
-    let slots: Vec<std::sync::Mutex<Option<Measurement>>> =
-        results.iter().map(|_| std::sync::Mutex::new(None)).collect();
+    let slots: Vec<std::sync::Mutex<Option<Measurement>>> = results
+        .iter()
+        .map(|_| std::sync::Mutex::new(None))
+        .collect();
     crossbeam::scope(|scope| {
         for _ in 0..n_threads {
             scope.spawn(|_| loop {

@@ -9,11 +9,13 @@
 //!   (`chunk_size` bytes per dkey, dkeys round-robined across shards),
 //!   which is what DFS files are built on.
 
+use std::cell::{Cell, RefCell};
 use std::rc::Rc;
 
 use daos_fabric::NodeId;
 use daos_placement::{place, splitmix64, Layout, ObjectClass, ObjectId};
 use daos_sim::executor::join_all;
+use daos_sim::time::SimDuration;
 use daos_sim::Sim;
 use daos_vos::tree::ReadSeg;
 use daos_vos::{key, Epoch, Key, Payload};
@@ -25,18 +27,84 @@ use crate::ContId;
 /// Read "latest" epoch sentinel.
 pub const EPOCH_LATEST: Epoch = Epoch::MAX;
 
+/// The redundancy group an array chunk belongs to.
+///
+/// DAOS routes array chunks by dkey hash, not round-robin: the spread is
+/// statistical, which is what makes wide classes blow the engines' stream
+/// windows in file-per-process workloads. Shared with the rebuild pass,
+/// which must agree with the client on chunk → group routing.
+pub(crate) fn group_of_chunk(oid: ObjectId, chunk: u64, group_count: u32) -> u32 {
+    let h = splitmix64(chunk ^ oid.mix().rotate_left(23));
+    daos_placement::jump_consistent_hash(h, group_count)
+}
+
+/// Client-side fault-handling policy: every data/control RPC gets a
+/// deadline and failed attempts retry with exponential backoff + jitter,
+/// refreshing the pool map between tries.
+#[derive(Clone, Copy, Debug)]
+pub struct RetryPolicy {
+    /// Per-attempt RPC deadline. The default is deliberately generous —
+    /// far above any legitimate queueing delay at full load — so healthy
+    /// runs never trip it; chaos tests tighten it.
+    pub rpc_timeout: SimDuration,
+    /// First backoff; doubles per attempt.
+    pub base_backoff: SimDuration,
+    /// Backoff ceiling.
+    pub max_backoff: SimDuration,
+    /// Attempts before the typed error surfaces to the caller.
+    pub max_attempts: u32,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> Self {
+        RetryPolicy {
+            rpc_timeout: SimDuration::from_secs(1),
+            base_backoff: SimDuration::from_ms(1),
+            max_backoff: SimDuration::from_ms(32),
+            max_attempts: 30,
+        }
+    }
+}
+
 /// A client process bound to a client node's fabric port.
 #[derive(Clone)]
 pub struct DaosClient {
     cluster: Rc<Cluster>,
     node: NodeId,
+    retry: RetryPolicy,
 }
 
 impl DaosClient {
     /// A client on client node `client_node_idx` (0-based).
     pub fn new(cluster: Rc<Cluster>, client_node_idx: u32) -> Self {
         let node = cluster.client_node(client_node_idx);
-        DaosClient { cluster, node }
+        DaosClient {
+            cluster,
+            node,
+            retry: RetryPolicy::default(),
+        }
+    }
+
+    /// Same client with a different retry policy (handles opened from it
+    /// inherit the policy).
+    pub fn with_retry(mut self, retry: RetryPolicy) -> Self {
+        self.retry = retry;
+        self
+    }
+
+    /// The client's retry policy.
+    pub fn retry(&self) -> RetryPolicy {
+        self.retry
+    }
+
+    /// Exponential backoff with jitter before retry `attempt` (0-based).
+    async fn backoff(&self, sim: &Sim, attempt: u32) {
+        let base = self.retry.base_backoff.as_ns().max(1);
+        let exp = base.saturating_mul(1u64 << attempt.min(20));
+        let capped = exp.min(self.retry.max_backoff.as_ns());
+        // jitter in [0.5, 1.0) × capped, drawn from the sim's seeded RNG
+        let jittered = capped / 2 + sim.rand_below(capped / 2 + 1);
+        sim.sleep(SimDuration::from_ns(jittered)).await;
     }
 
     /// The cluster this client talks to.
@@ -48,8 +116,15 @@ impl DaosClient {
         self.node
     }
 
-    /// Issue one RPC to engine `engine_idx`.
-    pub async fn call(&self, sim: &Sim, engine_idx: u32, req: Request) -> Result<Response, DaosError> {
+    /// Issue one RPC to engine `engine_idx` (no deadline: fails fast on a
+    /// dead link, hangs on a partition — resilient paths use
+    /// [`DaosClient::call_deadline`]).
+    pub async fn call(
+        &self,
+        sim: &Sim,
+        engine_idx: u32,
+        req: Request,
+    ) -> Result<Response, DaosError> {
         let bulk = req.bulk_in();
         self.cluster
             .engine(engine_idx)
@@ -59,26 +134,64 @@ impl DaosClient {
             .map_err(|_| DaosError::Transport)
     }
 
+    /// Issue one RPC with the policy's per-attempt deadline; faults come
+    /// back as typed retryable errors.
+    pub async fn call_deadline(
+        &self,
+        sim: &Sim,
+        engine_idx: u32,
+        req: Request,
+    ) -> Result<Response, DaosError> {
+        let bulk = req.bulk_in();
+        self.cluster
+            .engine(engine_idx)
+            .endpoint()
+            .call_deadline(sim, self.node, req, bulk, self.retry.rpc_timeout)
+            .await
+            .map_err(DaosError::from)
+    }
+
     /// Control-plane RPC: retries across pool-service replicas following
-    /// `NotLeader` hints until the service answers (it may still return a
-    /// semantic error such as `ContainerExists`).
+    /// `NotLeader` hints, with the same bounded backoff policy as data
+    /// RPCs. The service may still return a semantic error such as
+    /// `ContainerExists`; a dead or partitioned service surfaces as a
+    /// typed `Timeout`/`Transport` after the attempt budget.
     pub async fn control(&self, sim: &Sim, req: Request) -> Result<Response, DaosError> {
         let svc = self.cluster.replicas().len().max(1) as u32;
         let mut engine = 0u32;
-        for _attempt in 0..200 {
-            match self.call(sim, engine, req.clone()).await? {
-                Response::Err(DaosError::NotLeader { hint }) => {
+        let mut last = DaosError::Timeout;
+        for attempt in 0..self.retry.max_attempts {
+            match self.call_deadline(sim, engine, req.clone()).await {
+                Ok(Response::Err(DaosError::NotLeader { hint })) => {
                     engine = match hint {
                         // raft ids are engine index + 1
                         Some(id) if id >= 1 && id <= svc as u64 => (id - 1) as u32,
                         _ => (engine + 1) % svc,
                     };
-                    sim.sleep_ms(2).await;
+                    last = DaosError::NotLeader { hint };
                 }
-                other => return Ok(other),
+                Ok(other) => return Ok(other),
+                Err(e) if e.is_retryable() => {
+                    engine = (engine + 1) % svc;
+                    last = e;
+                }
+                Err(e) => return Err(e),
             }
+            self.backoff(sim, attempt).await;
         }
-        Err(DaosError::Other("pool service never elected a leader".into()))
+        Err(last)
+    }
+
+    /// Refresh the shared pool-map cache from the pool service; returns
+    /// whether the cache changed. Best-effort: an unreachable service
+    /// leaves the cache as is.
+    pub async fn refresh_pool_map(&self, sim: &Sim) -> bool {
+        match self.control(sim, Request::PoolQuery).await {
+            Ok(Response::PoolMapInfo { version, excluded }) => {
+                self.cluster.sync_pool_map(version, &excluded)
+            }
+            _ => false,
+        }
     }
 
     /// Connect to the pool (waits for the pool service to be up).
@@ -88,7 +201,7 @@ impl DaosClient {
                 client: self.clone(),
             }),
             Response::Err(e) => Err(e),
-            other => Err(DaosError::Other(format!("unexpected: {other:?}"))),
+            other => Err(DaosError::UnexpectedResponse(format!("{other:?}"))),
         }
     }
 }
@@ -101,7 +214,11 @@ pub struct PoolHandle {
 
 impl PoolHandle {
     /// Create a container (error if it exists).
-    pub async fn create_container(&self, sim: &Sim, cont: ContId) -> Result<ContainerHandle, DaosError> {
+    pub async fn create_container(
+        &self,
+        sim: &Sim,
+        cont: ContId,
+    ) -> Result<ContainerHandle, DaosError> {
         self.client
             .control(sim, Request::ContCreate { cont })
             .await?
@@ -110,7 +227,11 @@ impl PoolHandle {
     }
 
     /// Open an existing container.
-    pub async fn open_container(&self, sim: &Sim, cont: ContId) -> Result<ContainerHandle, DaosError> {
+    pub async fn open_container(
+        &self,
+        sim: &Sim,
+        cont: ContId,
+    ) -> Result<ContainerHandle, DaosError> {
         self.client
             .control(sim, Request::ContOpen { cont })
             .await?
@@ -119,7 +240,11 @@ impl PoolHandle {
     }
 
     /// Open-or-create (what `dfs_mount` does).
-    pub async fn open_or_create(&self, sim: &Sim, cont: ContId) -> Result<ContainerHandle, DaosError> {
+    pub async fn open_or_create(
+        &self,
+        sim: &Sim,
+        cont: ContId,
+    ) -> Result<ContainerHandle, DaosError> {
         match self.create_container(sim, cont).await {
             Ok(h) => Ok(h),
             Err(DaosError::ContainerExists(_)) => self.open_container(sim, cont).await,
@@ -183,7 +308,7 @@ impl ContainerHandle {
             match r? {
                 Response::Epoch(e) => max = max.max(e),
                 Response::Err(e) => return Err(e),
-                other => return Err(DaosError::Other(format!("unexpected: {other:?}"))),
+                other => return Err(DaosError::UnexpectedResponse(format!("{other:?}"))),
             }
         }
         Ok(max)
@@ -191,21 +316,40 @@ impl ContainerHandle {
 
     /// Open an object with a class; computes the layout client-side.
     pub fn object(&self, oid: ObjectId, class: ObjectClass) -> ObjectHandle {
-        let layout = place(oid, class, &self.client.cluster.pool_map());
+        let map = self.client.cluster.pool_map();
+        let layout = place(oid, class, &map);
+        let version = map.version();
+        drop(map);
+        self.client.cluster.register_object(self.cont, oid, class);
         ObjectHandle {
             cont: self.clone(),
             oid,
-            layout,
+            class,
+            layout: Rc::new(RefCell::new(layout)),
+            placed_version: Rc::new(Cell::new(version)),
+            moved: Rc::new(RefCell::new(std::collections::BTreeSet::new())),
         }
     }
 }
 
 /// An open object: the unit of placement.
+///
+/// The layout is shared across clones of the handle and re-placed when a
+/// fault forces a pool-map refresh — but only then: a handle opened before
+/// an exclusion keeps its stale layout while the engines still answer,
+/// reading degraded through its protection class like a real client whose
+/// map update hasn't arrived.
 #[derive(Clone)]
 pub struct ObjectHandle {
     cont: ContainerHandle,
     oid: ObjectId,
-    layout: Layout,
+    class: ObjectClass,
+    layout: Rc<RefCell<Layout>>,
+    placed_version: Rc<Cell<u32>>,
+    /// Shards whose target changed in the last re-place: their new homes
+    /// are empty until the rebuild pass refills them, so reads avoid them
+    /// while a rebuild is active (writes go to the new home regardless).
+    moved: Rc<RefCell<std::collections::BTreeSet<u32>>>,
 }
 
 impl ObjectHandle {
@@ -213,15 +357,43 @@ impl ObjectHandle {
     pub fn oid(&self) -> ObjectId {
         self.oid
     }
-    /// The object's computed layout.
-    pub fn layout(&self) -> &Layout {
-        &self.layout
+    /// The object's class.
+    pub fn class(&self) -> ObjectClass {
+        self.class
+    }
+    /// The object's current layout (a snapshot; refreshes may replace it).
+    pub fn layout(&self) -> Layout {
+        self.layout.borrow().clone()
+    }
+
+    fn width(&self) -> u32 {
+        self.layout.borrow().width()
     }
 
     fn route(&self, shard: u32) -> (u32, u32) {
-        let t = self.layout.target_of(shard);
+        let t = self.layout.borrow().target_of(shard);
         let tpe = self.cont.client.cluster.cfg.targets_per_engine;
         (t / tpe, t % tpe)
+    }
+
+    /// Pool-map refresh + re-place, driven only by fault-path errors
+    /// (timeout / stale-map): queries the service, adopts a newer map, and
+    /// recomputes the shared layout if the version moved.
+    async fn refresh(&self, sim: &Sim) {
+        let client = &self.cont.client;
+        client.refresh_pool_map(sim).await;
+        let map = client.cluster.pool_map();
+        if map.version() != self.placed_version.get() {
+            let new_layout = place(self.oid, self.class, &map);
+            {
+                let old = self.layout.borrow();
+                *self.moved.borrow_mut() = (0..new_layout.width())
+                    .filter(|&s| old.target_of(s) != new_layout.target_of(s))
+                    .collect();
+            }
+            *self.layout.borrow_mut() = new_layout;
+            self.placed_version.set(map.version());
+        }
     }
 
     fn shard_of_dkey(&self, dkey: &Key) -> u32 {
@@ -229,7 +401,7 @@ impl ObjectHandle {
         for &b in dkey {
             h = (h ^ b as u64).wrapping_mul(0x100000001b3);
         }
-        (splitmix64(h) % self.layout.width() as u64) as u32
+        (splitmix64(h) % self.width() as u64) as u32
     }
 
     /// Raw update of an array akey (most callers use [`ArrayHandle`]).
@@ -263,7 +435,7 @@ impl ObjectHandle {
         match rsp {
             Response::Written { epoch } => Ok(epoch),
             Response::Err(e) => Err(e),
-            other => Err(DaosError::Other(format!("unexpected: {other:?}"))),
+            other => Err(DaosError::UnexpectedResponse(format!("{other:?}"))),
         }
     }
 
@@ -300,13 +472,13 @@ impl ObjectHandle {
         match rsp {
             Response::Fetched { segs } => Ok(segs),
             Response::Err(e) => Err(e),
-            other => Err(DaosError::Other(format!("unexpected: {other:?}"))),
+            other => Err(DaosError::UnexpectedResponse(format!("{other:?}"))),
         }
     }
 
     /// Punch the object on every shard (unlink).
     pub async fn punch(&self, sim: &Sim) -> Result<(), DaosError> {
-        let width = self.layout.width();
+        let width = self.width();
         let futs: Vec<_> = (0..width)
             .map(|s| {
                 let this = self.clone();
@@ -337,7 +509,7 @@ impl ObjectHandle {
 
     /// Enumerate dkeys across all shards, merged and sorted.
     pub async fn list_dkeys(&self, sim: &Sim) -> Result<Vec<Key>, DaosError> {
-        let width = self.layout.width();
+        let width = self.width();
         let futs: Vec<_> = (0..width)
             .map(|s| {
                 let this = self.clone();
@@ -364,7 +536,7 @@ impl ObjectHandle {
             match r? {
                 Response::Dkeys(mut ks) => keys.append(&mut ks),
                 Response::Err(e) => return Err(e),
-                other => return Err(DaosError::Other(format!("unexpected: {other:?}"))),
+                other => return Err(DaosError::UnexpectedResponse(format!("{other:?}"))),
             }
         }
         keys.sort();
@@ -380,6 +552,10 @@ impl ObjectHandle {
     /// Byte-array view with the given chunk size (`daos_array`).
     pub fn array(&self, chunk_size: u64) -> ArrayHandle {
         assert!(chunk_size > 0);
+        self.cont
+            .client
+            .cluster
+            .register_array(self.cont.cont, self.oid, self.class, chunk_size);
         ArrayHandle {
             obj: self.clone(),
             chunk_size,
@@ -395,7 +571,12 @@ pub struct KvHandle {
 
 impl KvHandle {
     /// Upsert `value` under `k`.
-    pub async fn put(&self, sim: &Sim, k: impl AsRef<[u8]>, value: Payload) -> Result<(), DaosError> {
+    pub async fn put(
+        &self,
+        sim: &Sim,
+        k: impl AsRef<[u8]>,
+        value: Payload,
+    ) -> Result<(), DaosError> {
         let dkey = key(k);
         let shard = self.obj.shard_of_dkey(&dkey);
         let (engine, target) = self.obj.route(shard);
@@ -443,7 +624,7 @@ impl KvHandle {
         match rsp {
             Response::Single(v) => Ok(v),
             Response::Err(e) => Err(e),
-            other => Err(DaosError::Other(format!("unexpected: {other:?}"))),
+            other => Err(DaosError::UnexpectedResponse(format!("{other:?}"))),
         }
     }
 
@@ -478,22 +659,17 @@ impl ArrayHandle {
 
     /// Redundancy-group width (1 for plain sharding, r for RP_r, k+p for EC).
     fn group_width(&self) -> u32 {
-        self.obj.layout.class.group_width()
+        self.obj.class.group_width()
     }
 
     /// Number of redundancy groups in the layout.
     fn group_count(&self) -> u32 {
-        (self.obj.layout.width() / self.group_width()).max(1)
+        (self.obj.width() / self.group_width()).max(1)
     }
 
-    /// The redundancy group a chunk belongs to.
-    ///
-    /// DAOS routes array chunks by dkey hash, not round-robin: the spread
-    /// is statistical, which is what makes wide classes blow the engines'
-    /// stream windows in file-per-process workloads.
+    /// The redundancy group a chunk belongs to (see [`group_of_chunk`]).
     fn group_of_chunk(&self, chunk: u64) -> u32 {
-        let h = splitmix64(chunk ^ self.obj.oid.mix().rotate_left(23));
-        daos_placement::jump_consistent_hash(h, self.group_count())
+        group_of_chunk(self.obj.oid, chunk, self.group_count())
     }
 
     /// Shard indices of redundancy group `g`.
@@ -504,11 +680,27 @@ impl ArrayHandle {
 
     /// Is the target behind `shard` excluded from the current pool map?
     fn shard_excluded(&self, shard: u32) -> bool {
-        let t = self.obj.layout.target_of(shard);
+        let t = self.obj.layout.borrow().target_of(shard);
         self.obj.cont.client.cluster.pool_map().is_excluded(t)
     }
 
+    /// Should a *read* avoid `shard`? True for excluded targets, and for
+    /// re-placed shards whose new home hasn't been refilled yet by the
+    /// rebuild pass still running.
+    fn shard_unreadable(&self, shard: u32) -> bool {
+        if self.shard_excluded(shard) {
+            return true;
+        }
+        self.obj.cont.client.cluster.rebuilds_running() > 0
+            && self.obj.moved.borrow().contains(&shard)
+    }
+
     /// Raw single-shard update of chunk data at a chunk-relative offset.
+    ///
+    /// Retryable faults (timeout, stale map, transport) trigger a pool-map
+    /// refresh and re-route: the shard index is stable but the target
+    /// behind it moves with the layout, so after an exclusion the retry
+    /// lands on the shard's new home.
     async fn update_shard(
         &self,
         sim: &Sim,
@@ -517,29 +709,40 @@ impl ArrayHandle {
         offset: u64,
         data: Payload,
     ) -> Result<(), DaosError> {
-        let (engine, target) = self.obj.route(shard);
-        self.obj
-            .cont
-            .client
-            .call(
-                sim,
-                engine,
-                Request::UpdateArray {
-                    target,
-                    cont: self.obj.cont.cont,
-                    oid: self.obj.oid,
-                    dkey: Self::chunk_dkey(chunk),
-                    akey: key("0"),
-                    offset,
-                    data,
-                },
-            )
-            .await?
-            .ok()
+        let client = &self.obj.cont.client;
+        let mut last = DaosError::Timeout;
+        for attempt in 0..client.retry.max_attempts {
+            let (engine, target) = self.obj.route(shard);
+            let r = client
+                .call_deadline(
+                    sim,
+                    engine,
+                    Request::UpdateArray {
+                        target,
+                        cont: self.obj.cont.cont,
+                        oid: self.obj.oid,
+                        dkey: Self::chunk_dkey(chunk),
+                        akey: key("0"),
+                        offset,
+                        data: data.clone(),
+                    },
+                )
+                .await
+                .and_then(|r| r.ok());
+            match r {
+                Ok(()) => return Ok(()),
+                Err(e) if e.is_retryable() => last = e,
+                Err(e) => return Err(e),
+            }
+            client.backoff(sim, attempt).await;
+            self.obj.refresh(sim).await;
+        }
+        Err(last)
     }
 
-    /// Raw single-shard fetch; segments come back shard-relative.
-    async fn fetch_shard(
+    /// One fetch attempt against one shard, no retry — the failover
+    /// building block for degraded reads.
+    async fn fetch_shard_once(
         &self,
         sim: &Sim,
         shard: u32,
@@ -552,7 +755,7 @@ impl ArrayHandle {
             .obj
             .cont
             .client
-            .call(
+            .call_deadline(
                 sim,
                 engine,
                 Request::FetchArray {
@@ -570,8 +773,32 @@ impl ArrayHandle {
         match rsp {
             Response::Fetched { segs } => Ok(segs),
             Response::Err(e) => Err(e),
-            other => Err(DaosError::Other(format!("unexpected: {other:?}"))),
+            other => Err(DaosError::UnexpectedResponse(format!("{other:?}"))),
         }
+    }
+
+    /// Raw single-shard fetch with the full retry/refresh loop; segments
+    /// come back shard-relative.
+    async fn fetch_shard(
+        &self,
+        sim: &Sim,
+        shard: u32,
+        chunk: u64,
+        offset: u64,
+        len: u64,
+    ) -> Result<Vec<ReadSeg>, DaosError> {
+        let client = &self.obj.cont.client;
+        let mut last = DaosError::Timeout;
+        for attempt in 0..client.retry.max_attempts {
+            match self.fetch_shard_once(sim, shard, chunk, offset, len).await {
+                Ok(segs) => return Ok(segs),
+                Err(e) if e.is_retryable() => last = e,
+                Err(e) => return Err(e),
+            }
+            client.backoff(sim, attempt).await;
+            self.obj.refresh(sim).await;
+        }
+        Err(last)
     }
 
     /// Materialise shard-relative segments into `len` bytes (holes = 0).
@@ -596,7 +823,7 @@ impl ArrayHandle {
         piece: Payload,
     ) -> Result<(), DaosError> {
         let group = self.shards_of_group(self.group_of_chunk(chunk));
-        match self.obj.layout.class {
+        match self.obj.class {
             ObjectClass::Sharded(_) | ObjectClass::ShardedMax => {
                 self.update_shard(sim, group.start, chunk, in_chunk, piece)
                     .await
@@ -616,15 +843,17 @@ impl ArrayHandle {
                 }
                 Ok(())
             }
-            ObjectClass::ErasureCoded { data: k, parity: p, .. } => {
+            ObjectClass::ErasureCoded {
+                data: k, parity: p, ..
+            } => {
                 let (k, p) = (k as u64, p as u64);
-                if self.chunk_size % k != 0 {
+                if !self.chunk_size.is_multiple_of(k) {
                     return Err(DaosError::Other(
                         "EC arrays need chunk_size divisible by k".into(),
                     ));
                 }
                 let cell = self.chunk_size / k;
-                if in_chunk % cell != 0 || piece.len() % cell != 0 {
+                if !in_chunk.is_multiple_of(cell) || !piece.len().is_multiple_of(cell) {
                     return Err(DaosError::Other(format!(
                         "EC arrays require cell-aligned I/O (cell = {cell} bytes)"
                     )));
@@ -686,8 +915,13 @@ impl ArrayHandle {
     }
 
     /// Read one piece of one chunk through the protection class; returns
-    /// chunk-relative segments. Survives excluded targets where the class
-    /// has redundancy (degraded read / EC reconstruction).
+    /// chunk-relative segments. Survives excluded *and silently dead*
+    /// targets where the class has redundancy: replicated reads fail over
+    /// to surviving replicas, EC reads reconstruct lost cells from the
+    /// stripe, and a full pass over the group that finds nobody alive
+    /// surfaces as [`DaosError::NoSurvivingReplicas`]. Transient faults
+    /// (every live shard timing out) back off, refresh the pool map and
+    /// retry under the client's attempt budget.
     async fn read_piece(
         &self,
         sim: &Sim,
@@ -696,38 +930,95 @@ impl ArrayHandle {
         len: u64,
     ) -> Result<Vec<ReadSeg>, DaosError> {
         let group = self.shards_of_group(self.group_of_chunk(chunk));
-        match self.obj.layout.class {
+        let client = &self.obj.cont.client;
+        match self.obj.class {
             ObjectClass::Sharded(_) | ObjectClass::ShardedMax => {
-                self.fetch_shard(sim, group.start, chunk, in_chunk, len).await
+                self.fetch_shard(sim, group.start, chunk, in_chunk, len)
+                    .await
             }
             ObjectClass::Replicated { replicas, .. } => {
-                // spread reads over replicas; skip excluded targets
+                // spread reads over replicas; fail over past excluded and
+                // unresponsive targets before ever backing off
                 let r = replicas as u64;
-                for attempt in 0..r {
-                    let shard = group.start + ((chunk + attempt) % r) as u32;
-                    if self.shard_excluded(shard) {
-                        continue;
+                let mut last = DaosError::NoSurvivingReplicas;
+                for round in 0..client.retry.max_attempts {
+                    let mut any_alive = false;
+                    for attempt in 0..r {
+                        let shard = group.start + ((chunk + round as u64 + attempt) % r) as u32;
+                        if self.shard_unreadable(shard) {
+                            continue;
+                        }
+                        any_alive = true;
+                        match self
+                            .fetch_shard_once(sim, shard, chunk, in_chunk, len)
+                            .await
+                        {
+                            Ok(segs) => return Ok(segs),
+                            Err(e) if e.is_retryable() => last = e,
+                            Err(e) => return Err(e),
+                        }
                     }
-                    return self.fetch_shard(sim, shard, chunk, in_chunk, len).await;
+                    if !any_alive {
+                        return Err(DaosError::NoSurvivingReplicas);
+                    }
+                    client.backoff(sim, round).await;
+                    self.obj.refresh(sim).await;
                 }
-                Err(DaosError::Other("all replicas excluded".into()))
+                Err(last)
             }
-            ObjectClass::ErasureCoded { data: k, parity: p, .. } => {
-                let (k, p) = (k as u64, p as u64);
-                let cell = self.chunk_size / k;
-                let first_cell = in_chunk / cell;
-                let last_cell = (in_chunk + len - 1) / cell;
-                let mut out: Vec<ReadSeg> = Vec::new();
-                for c in first_cell..=last_cell {
-                    let cell_lo = (c * cell).max(in_chunk);
-                    let cell_hi = ((c + 1) * cell).min(in_chunk + len);
-                    let want_off = cell_lo - c * cell;
-                    let want_len = cell_hi - cell_lo;
-                    let shard = group.start + c as u32;
-                    if !self.shard_excluded(shard) {
-                        let segs = self
-                            .fetch_shard(sim, shard, chunk, want_off, want_len)
-                            .await?;
+            ObjectClass::ErasureCoded {
+                data: k, parity: p, ..
+            } => {
+                let mut last = DaosError::Timeout;
+                for round in 0..client.retry.max_attempts {
+                    match self
+                        .read_piece_ec(sim, chunk, in_chunk, len, k as u64, p as u64)
+                        .await
+                    {
+                        Ok(out) => return Ok(out),
+                        Err(e) if e.is_retryable() => last = e,
+                        Err(e) => return Err(e),
+                    }
+                    client.backoff(sim, round).await;
+                    self.obj.refresh(sim).await;
+                }
+                Err(last)
+            }
+        }
+    }
+
+    /// One EC read pass: fetch each wanted data cell, reconstructing any
+    /// cell whose shard is excluded or unresponsive from the rest of the
+    /// stripe plus one live parity. A reconstruction *source* failing is
+    /// returned as the retryable error it produced (the caller refreshes
+    /// and retries); a stripe with no live parity left is
+    /// [`DaosError::NoSurvivingReplicas`].
+    async fn read_piece_ec(
+        &self,
+        sim: &Sim,
+        chunk: u64,
+        in_chunk: u64,
+        len: u64,
+        k: u64,
+        p: u64,
+    ) -> Result<Vec<ReadSeg>, DaosError> {
+        let group = self.shards_of_group(self.group_of_chunk(chunk));
+        let cell = self.chunk_size / k;
+        let first_cell = in_chunk / cell;
+        let last_cell = (in_chunk + len - 1) / cell;
+        let mut out: Vec<ReadSeg> = Vec::new();
+        for c in first_cell..=last_cell {
+            let cell_lo = (c * cell).max(in_chunk);
+            let cell_hi = ((c + 1) * cell).min(in_chunk + len);
+            let want_off = cell_lo - c * cell;
+            let want_len = cell_hi - cell_lo;
+            let shard = group.start + c as u32;
+            if !self.shard_unreadable(shard) {
+                match self
+                    .fetch_shard_once(sim, shard, chunk, want_off, want_len)
+                    .await
+                {
+                    Ok(segs) => {
                         out.extend(segs.into_iter().map(|s| ReadSeg {
                             offset: c * cell + s.offset,
                             len: s.len,
@@ -735,48 +1026,64 @@ impl ArrayHandle {
                         }));
                         continue;
                     }
-                    // degraded: reconstruct the cell from survivors + parity
-                    let mut acc = vec![0u8; cell as usize];
-                    let mut recovered = false;
-                    for other in 0..k {
-                        if other == c {
-                            continue;
-                        }
-                        let segs = self
-                            .fetch_shard(sim, group.start + other as u32, chunk, 0, cell)
-                            .await?;
-                        for (o, b) in acc.iter_mut().zip(Self::flatten(&segs, 0, cell)) {
-                            *o ^= b;
-                        }
-                    }
-                    for j in 0..p {
-                        let pshard = group.start + (k + j) as u32;
-                        if self.shard_excluded(pshard) {
-                            continue;
-                        }
-                        let segs = self.fetch_shard(sim, pshard, chunk, 0, cell).await?;
+                    // dark but not yet excluded: fall through to reconstruct
+                    Err(e) if e.is_retryable() => {}
+                    Err(e) => return Err(e),
+                }
+            }
+            // degraded: reconstruct the cell from survivors + parity
+            let mut acc = vec![0u8; cell as usize];
+            for other in 0..k {
+                if other == c {
+                    continue;
+                }
+                let oshard = group.start + other as u32;
+                if self.shard_excluded(oshard) {
+                    // two losses in one group: beyond what XOR parity covers
+                    return Err(DaosError::NoSurvivingReplicas);
+                }
+                if self.shard_unreadable(oshard) {
+                    // the source is itself mid-refill; retry once it lands
+                    return Err(DaosError::Timeout);
+                }
+                let segs = self.fetch_shard_once(sim, oshard, chunk, 0, cell).await?;
+                for (o, b) in acc.iter_mut().zip(Self::flatten(&segs, 0, cell)) {
+                    *o ^= b;
+                }
+            }
+            let mut recovered = false;
+            let mut parity_err: Option<DaosError> = None;
+            for j in 0..p {
+                let pshard = group.start + (k + j) as u32;
+                if self.shard_unreadable(pshard) {
+                    continue;
+                }
+                match self.fetch_shard_once(sim, pshard, chunk, 0, cell).await {
+                    Ok(segs) => {
                         for (o, b) in acc.iter_mut().zip(Self::flatten(&segs, 0, cell)) {
                             *o ^= b;
                         }
                         recovered = true;
                         break;
                     }
-                    if !recovered {
-                        return Err(DaosError::Other(
-                            "EC group lost more shards than parity covers".into(),
-                        ));
-                    }
-                    out.push(ReadSeg {
-                        offset: cell_lo,
-                        len: want_len,
-                        data: Some(Payload::bytes(
-                            acc[want_off as usize..(want_off + want_len) as usize].to_vec(),
-                        )),
-                    });
+                    Err(e) if e.is_retryable() => parity_err = Some(e),
+                    Err(e) => return Err(e),
                 }
-                Ok(out)
             }
+            if !recovered {
+                // live parities that merely timed out are worth a retry;
+                // a stripe with every parity excluded is truly lost
+                return Err(parity_err.unwrap_or(DaosError::NoSurvivingReplicas));
+            }
+            out.push(ReadSeg {
+                offset: cell_lo,
+                len: want_len,
+                data: Some(Payload::bytes(
+                    acc[want_off as usize..(want_off + want_len) as usize].to_vec(),
+                )),
+            });
         }
+        Ok(out)
     }
 
     /// Split `[offset, offset+len)` into per-chunk pieces:
@@ -859,7 +1166,7 @@ impl ArrayHandle {
                     }));
                 }
                 Response::Err(e) => return Err(e),
-                other => return Err(DaosError::Other(format!("unexpected: {other:?}"))),
+                other => return Err(DaosError::UnexpectedResponse(format!("{other:?}"))),
             }
         }
         segs.sort_by_key(|s| s.offset);
@@ -941,7 +1248,7 @@ impl ArrayHandle {
     /// The array's size in bytes (highest written offset + 1), queried
     /// from every shard like `daos_array_get_size`.
     pub async fn size(&self, sim: &Sim) -> Result<u64, DaosError> {
-        let width = self.obj.layout.width();
+        let width = self.obj.width();
         let futs: Vec<_> = (0..width)
             .map(|s| {
                 let this = self.clone();
@@ -970,15 +1277,15 @@ impl ArrayHandle {
             match r? {
                 Response::MaxChunk(Some((dk, inner))) => {
                     let chunk = u64::from_be_bytes(
-                        dk.as_slice().try_into().map_err(|_| {
-                            DaosError::Other("malformed chunk dkey".into())
-                        })?,
+                        dk.as_slice()
+                            .try_into()
+                            .map_err(|_| DaosError::Other("malformed chunk dkey".into()))?,
                     );
                     size = size.max(chunk * self.chunk_size + inner);
                 }
                 Response::MaxChunk(None) => {}
                 Response::Err(e) => return Err(e),
-                other => return Err(DaosError::Other(format!("unexpected: {other:?}"))),
+                other => return Err(DaosError::UnexpectedResponse(format!("{other:?}"))),
             }
         }
         Ok(size)

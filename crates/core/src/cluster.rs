@@ -6,17 +6,24 @@
 //! nodes have dual Omni-Path), 8 VOS targets per engine, and a 3-replica
 //! RAFT pool service.
 
-use std::cell::{Ref, RefCell};
+use std::cell::{Cell, Ref, RefCell};
+use std::collections::{BTreeMap, BTreeSet};
 use std::rc::Rc;
 
 use daos_fabric::{Fabric, FabricConfig, NodeId};
 use daos_media::{Dcpmm, DcpmmConfig, MediaSet};
-use daos_placement::{PoolMap, TargetId};
+use daos_placement::{ObjectClass, ObjectId, PoolMap, TargetId};
 use daos_sim::time::SimDuration;
-use daos_sim::Sim;
+use daos_sim::{FaultAction, FaultInjector, FaultPlan, Sim};
 
 use crate::engine::{Engine, EngineConfig};
-use crate::pool::{spawn_pool_service, PoolReplica};
+use crate::pool::{spawn_pool_service, HeartbeatConfig, PoolOp, PoolReplica, PoolState};
+use crate::rebuild::{self, RebuildStats};
+use crate::ContId;
+
+/// `(cont, oid) → (object class, array chunk size)` for every object
+/// opened through a cluster.
+type ObjectRegistry = BTreeMap<(ContId, ObjectId), (ObjectClass, Option<u64>)>;
 
 /// Full testbed description.
 #[derive(Clone, Copy, Debug)]
@@ -39,6 +46,12 @@ pub struct ClusterConfig {
     pub svc_replicas: u32,
     /// Pool-service tick interval.
     pub svc_tick: SimDuration,
+    /// Failure-detector (heartbeat) tuning.
+    pub heartbeat: HeartbeatConfig,
+    /// Concurrent repair RPCs per rebuild pass — the rebuild bandwidth
+    /// knob: higher drains faster but steals more engine bandwidth from
+    /// foreground I/O.
+    pub rebuild_inflight: u32,
 }
 
 impl ClusterConfig {
@@ -55,6 +68,8 @@ impl ClusterConfig {
             engine: EngineConfig::default(),
             svc_replicas: 3,
             svc_tick: SimDuration::from_ms(5),
+            heartbeat: HeartbeatConfig::default(),
+            rebuild_inflight: 4,
         }
     }
 
@@ -70,6 +85,12 @@ impl ClusterConfig {
             engine: EngineConfig::default(),
             svc_replicas: 1,
             svc_tick: SimDuration::from_ms(1),
+            heartbeat: HeartbeatConfig {
+                interval: SimDuration::from_ms(2),
+                timeout: SimDuration::from_ms(1),
+                suspect: 3,
+            },
+            rebuild_inflight: 4,
         }
     }
 
@@ -86,6 +107,12 @@ pub struct Cluster {
     engines: Vec<Rc<Engine>>,
     replicas: Vec<Rc<PoolReplica>>,
     pool_map: RefCell<PoolMap>,
+    /// Objects opened through this cluster — what a rebuild pass walks.
+    /// Real DAOS enumerates object IDs from the VOS trees; the registry
+    /// stands in for that scan.
+    objects: RefCell<ObjectRegistry>,
+    rebuilds_running: Cell<u32>,
+    rebuild_stats: RefCell<RebuildStats>,
 }
 
 impl Cluster {
@@ -119,23 +146,43 @@ impl Cluster {
             .take(cfg.svc_replicas.max(1) as usize)
             .map(|e| (e.index() as u64 + 1, e.node(), e.attach_replica()))
             .collect();
+        let engine_eps = engines
+            .iter()
+            .map(|e| (e.index(), Rc::clone(e.endpoint())))
+            .collect();
         let replicas = spawn_pool_service(
             sim,
             &fabric,
             members,
+            engine_eps,
             n_engines,
             cfg.targets_per_engine,
             cfg.svc_tick,
+            cfg.heartbeat,
         );
 
         let pool_map = RefCell::new(PoolMap::new(n_engines, cfg.targets_per_engine));
-        Rc::new(Cluster {
+        let cluster = Rc::new(Cluster {
             cfg,
             fabric,
             engines,
             replicas,
             pool_map,
-        })
+            objects: RefCell::new(BTreeMap::new()),
+            rebuilds_running: Cell::new(0),
+            rebuild_stats: RefCell::new(RebuildStats::default()),
+        });
+        // committed exclusions/reintegrations kick off rebuild on whichever
+        // replica leads; the Weak breaks the Rc cycle replica → cluster
+        for r in &cluster.replicas {
+            let weak = Rc::downgrade(&cluster);
+            r.set_on_map_change(move |sim, op, state| {
+                if let Some(c) = weak.upgrade() {
+                    c.on_map_change(sim, op, state);
+                }
+            });
+        }
+        cluster
     }
 
     /// The pool map (placement input).
@@ -153,6 +200,136 @@ impl Cluster {
     /// Reintegrate a previously excluded target.
     pub fn reintegrate_target(&self, t: TargetId) {
         self.pool_map.borrow_mut().reintegrate(t);
+    }
+
+    /// Adopt an authoritative `(version, excluded)` snapshot from the pool
+    /// service into the client-side map cache; returns whether it changed.
+    pub fn sync_pool_map(&self, version: u32, excluded: &[TargetId]) -> bool {
+        self.pool_map.borrow_mut().sync(version, excluded)
+    }
+
+    /// Record an opened object so rebuild passes can find it.
+    pub(crate) fn register_object(&self, cont: ContId, oid: ObjectId, class: ObjectClass) {
+        self.objects
+            .borrow_mut()
+            .entry((cont, oid))
+            .or_insert((class, None));
+    }
+
+    /// Record an object's array chunk size (arrays are what rebuild moves).
+    pub(crate) fn register_array(
+        &self,
+        cont: ContId,
+        oid: ObjectId,
+        class: ObjectClass,
+        chunk_size: u64,
+    ) {
+        self.objects
+            .borrow_mut()
+            .insert((cont, oid), (class, Some(chunk_size)));
+    }
+
+    /// Snapshot of the object registry (rebuild input).
+    pub(crate) fn registered_objects(&self) -> Vec<(ContId, ObjectId, ObjectClass, Option<u64>)> {
+        self.objects
+            .borrow()
+            .iter()
+            .map(|(&(c, o), &(cl, cs))| (c, o, cl, cs))
+            .collect()
+    }
+
+    /// Map-change hook fired by the leading pool-service replica when an
+    /// exclusion/reintegration commits: spawns a background rebuild pass
+    /// moving protected shards onto their new homes.
+    fn on_map_change(self: &Rc<Self>, sim: &Sim, op: &PoolOp, state: &PoolState) {
+        let new_excluded: BTreeSet<TargetId> = state.excluded.clone();
+        let mut old_excluded = new_excluded.clone();
+        match op {
+            PoolOp::Exclude(ts) => {
+                for t in ts {
+                    old_excluded.remove(t);
+                }
+            }
+            PoolOp::Reintegrate(ts) => {
+                old_excluded.extend(ts.iter().copied());
+            }
+            _ => return,
+        }
+        if old_excluded == new_excluded {
+            return; // idempotent commit: nothing actually changed
+        }
+        self.rebuilds_running.set(self.rebuilds_running.get() + 1);
+        let version = state.map_version;
+        let c = Rc::clone(self);
+        let s = sim.clone();
+        sim.spawn(async move {
+            let stats = rebuild::run(&s, &c, version, &old_excluded, &new_excluded).await;
+            c.rebuild_stats.borrow_mut().merge(&stats);
+            c.rebuilds_running.set(c.rebuilds_running.get() - 1);
+        });
+    }
+
+    /// Number of rebuild passes currently running.
+    pub fn rebuilds_running(&self) -> u32 {
+        self.rebuilds_running.get()
+    }
+
+    /// Cumulative rebuild statistics.
+    pub fn rebuild_stats(&self) -> RebuildStats {
+        self.rebuild_stats.borrow().clone()
+    }
+
+    /// Wait until no rebuild pass is running. Callers that just triggered
+    /// an exclusion should first wait for the map version to move (the
+    /// pass starts when the exclusion *commits*).
+    pub async fn quiesce_rebuild(&self, sim: &Sim) {
+        while self.rebuilds_running.get() > 0 {
+            sim.sleep_ms(1).await;
+        }
+    }
+
+    /// Arm a [`FaultPlan`] against this cluster: node indices in the plan
+    /// map to engine indices (crash/restart both the engine process and
+    /// its fabric port); fabric-wide actions apply to the whole fabric.
+    pub fn install_fault_plan(self: &Rc<Self>, sim: &Sim, plan: FaultPlan) -> FaultInjector {
+        let weak = Rc::downgrade(self);
+        FaultInjector::install(sim, plan, move |s, action| {
+            if let Some(c) = weak.upgrade() {
+                c.apply_fault(s, action);
+            }
+        })
+    }
+
+    /// Apply one fault action immediately (the fault-plan handler).
+    pub fn apply_fault(&self, _sim: &Sim, action: FaultAction) {
+        match action {
+            FaultAction::Crash { node } => {
+                if let Some(e) = self.engines.get(node) {
+                    e.crash();
+                    self.fabric.set_node_down(node as NodeId);
+                }
+            }
+            FaultAction::Restart { node } => {
+                if let Some(e) = self.engines.get(node) {
+                    e.restart();
+                    self.fabric.set_node_up(node as NodeId);
+                }
+            }
+            FaultAction::Partition { a, b } => {
+                self.fabric.partition_between(a as NodeId, b as NodeId);
+            }
+            FaultAction::HealAll => self.fabric.heal_all(),
+            FaultAction::DropRate { ppm } => {
+                self.fabric.set_drop_rate(ppm, 0xD20B ^ ppm as u64);
+            }
+            FaultAction::LatencySpike { extra_ns } => {
+                self.fabric
+                    .set_extra_latency(SimDuration::from_ns(extra_ns));
+            }
+            FaultAction::LatencyClear => {
+                self.fabric.set_extra_latency(SimDuration::ZERO);
+            }
+        }
     }
     /// All engines.
     pub fn engines(&self) -> &[Rc<Engine>] {

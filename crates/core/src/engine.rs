@@ -9,18 +9,18 @@
 //! queueing — the contention behaviour behind the object-class results —
 //! emerges naturally.
 
-use std::cell::RefCell;
-use std::collections::VecDeque;
+use std::cell::{Cell, RefCell};
+use std::collections::{BTreeSet, VecDeque};
 use std::rc::Rc;
 
 use daos_fabric::{Endpoint, Fabric, NodeId};
+use daos_media::MediaSet;
+use daos_placement::ObjectId;
 use daos_sim::time::SimDuration;
 use daos_sim::units::Bandwidth;
 use daos_sim::{Pipe, Semaphore, SharedPipe, Sim};
 use daos_vos::target::VosConfig;
 use daos_vos::{Payload, VosTarget};
-use daos_media::MediaSet;
-use daos_placement::ObjectId;
 
 use crate::proto::{DaosError, Request, Response};
 
@@ -108,6 +108,15 @@ pub struct Engine {
     endpoint: Rc<Endpoint<Request, Response>>,
     control: ControlQueue,
     has_replica: std::cell::Cell<bool>,
+    /// Whether the engine process is up. A crashed engine stops answering
+    /// (its endpoint goes offline and in-flight requests are dropped
+    /// without a reply); VOS state lives in SCM and survives.
+    alive: Cell<bool>,
+    /// Latest pool-map version gossiped to this engine by heartbeats.
+    map_version: Cell<u32>,
+    /// Local target indices the pool map excludes on this engine; data ops
+    /// addressed to them are rejected with `StaleMap`.
+    local_excluded: RefCell<BTreeSet<u32>>,
     extents_reclaimed: std::cell::Cell<u64>,
     bulk_write: SharedPipe,
     bulk_read: SharedPipe,
@@ -141,6 +150,9 @@ impl Engine {
             endpoint,
             control: daos_sim::Mailbox::new(),
             has_replica: std::cell::Cell::new(false),
+            alive: Cell::new(true),
+            map_version: Cell::new(0),
+            local_excluded: RefCell::new(BTreeSet::new()),
             extents_reclaimed: std::cell::Cell::new(0),
             bulk_write: Pipe::new(
                 format!("engine{index}.bulk.wr"),
@@ -174,8 +186,7 @@ impl Engine {
                         let target = Rc::clone(e.target(t));
                         for cid in target.container_ids() {
                             let got = target.aggregate(cid, horizon) as u64;
-                            e.extents_reclaimed
-                                .set(e.extents_reclaimed.get() + got);
+                            e.extents_reclaimed.set(e.extents_reclaimed.get() + got);
                         }
                         // yield so aggregation interleaves with service
                         s.yield_now().await;
@@ -225,6 +236,40 @@ impl Engine {
         self.control.clone()
     }
 
+    /// Whether the engine process is up.
+    pub fn is_alive(&self) -> bool {
+        self.alive.get()
+    }
+
+    /// Crash the engine: the endpoint goes offline (new RPCs see a dead
+    /// link), replies to requests already being served are dropped, and
+    /// volatile state (the stream window) is lost. VOS data is in SCM and
+    /// survives.
+    pub fn crash(&self) {
+        self.alive.set(false);
+        self.endpoint.set_online(false);
+        self.streams.borrow_mut().clear();
+    }
+
+    /// Restart a crashed engine: it comes back with cold caches but intact
+    /// persistent state, and starts answering RPCs again. It rejoins with
+    /// whatever pool-map knowledge it crashed with; heartbeats re-gossip
+    /// the current version.
+    pub fn restart(&self) {
+        self.alive.set(true);
+        self.endpoint.set_online(true);
+    }
+
+    /// The latest pool-map version heartbeats have gossiped here.
+    pub fn map_version(&self) -> u32 {
+        self.map_version.get()
+    }
+
+    /// Local target indices this engine believes are excluded.
+    pub fn local_excluded(&self) -> Vec<u32> {
+        self.local_excluded.borrow().iter().copied().collect()
+    }
+
     fn oid_key(oid: ObjectId) -> u128 {
         ((oid.hi as u128) << 64) | oid.lo as u128
     }
@@ -264,6 +309,20 @@ impl Engine {
         xstreams: &[Semaphore],
         cfg: EngineConfig,
     ) {
+        // Heartbeats are answered on the networking core, not an xstream:
+        // they must stay cheap and unqueued or a busy engine looks dead.
+        if let Request::Ping { version, excluded } = &inc.req {
+            if !self.alive.get() {
+                return;
+            }
+            if *version > self.map_version.get() {
+                self.map_version.set(*version);
+                *self.local_excluded.borrow_mut() = excluded.iter().copied().collect();
+            }
+            inc.respond(Response::Pong, 0);
+            return;
+        }
+
         let target_idx = match &inc.req {
             Request::UpdateArray { target, .. }
             | Request::FetchArray { target, .. }
@@ -280,6 +339,17 @@ impl Engine {
         let rsp = match target_idx {
             Some(t) => {
                 let t = t as usize % self.targets.len();
+                if self.local_excluded.borrow().contains(&(t as u32)) {
+                    // the client routed with an out-of-date map: this target
+                    // is excluded and must not serve or accept data
+                    let rsp = Response::Err(DaosError::StaleMap {
+                        version: self.map_version.get(),
+                    });
+                    if self.alive.get() {
+                        inc.respond(rsp, 0);
+                    }
+                    return;
+                }
                 let _xs = xstreams[t].acquire().await;
                 sim.sleep(cfg.rpc_cpu).await;
                 // data ops burn xstream CPU proportional to payload
@@ -295,7 +365,8 @@ impl Engine {
                     ))
                     .await;
                 }
-                self.exec_data(sim, &self.targets[t], cfg, inc.req.clone()).await
+                self.exec_data(sim, &self.targets[t], cfg, inc.req.clone())
+                    .await
             }
             None => {
                 // control plane: forward to the co-located replica
@@ -311,6 +382,12 @@ impl Engine {
                 }
             }
         };
+        // A crash between accept and reply swallows the response: the
+        // caller's RPC hangs until its deadline, exactly like a real
+        // process death mid-service.
+        if !self.alive.get() {
+            return;
+        }
         let bulk = rsp.bulk_out();
         inc.respond(rsp, bulk);
     }
@@ -339,7 +416,16 @@ impl Engine {
                 self.bulk_write.transfer(sim, data.len()).await;
                 let epoch = target.next_epoch_at(sim.now().as_ns());
                 target
-                    .update_array(sim, cont, Self::oid_key(oid), &dkey, &akey, offset, epoch, data)
+                    .update_array(
+                        sim,
+                        cont,
+                        Self::oid_key(oid),
+                        &dkey,
+                        &akey,
+                        offset,
+                        epoch,
+                        data,
+                    )
                     .await;
                 Response::Written { epoch }
             }
@@ -358,7 +444,16 @@ impl Engine {
                     sim.sleep(cfg.read_miss_latency).await;
                 }
                 let segs = target
-                    .fetch_array(sim, cont, Self::oid_key(oid), &dkey, &akey, offset, len, epoch)
+                    .fetch_array(
+                        sim,
+                        cont,
+                        Self::oid_key(oid),
+                        &dkey,
+                        &akey,
+                        offset,
+                        len,
+                        epoch,
+                    )
                     .await;
                 let data: u64 = segs
                     .iter()
@@ -366,7 +461,9 @@ impl Engine {
                     .map(|s| s.len)
                     .sum();
                 let amp = if miss { cfg.read_miss_amp } else { 1.0 };
-                self.bulk_read.transfer(sim, (data as f64 * amp) as u64).await;
+                self.bulk_read
+                    .transfer(sim, (data as f64 * amp) as u64)
+                    .await;
                 Response::Fetched { segs }
             }
             Request::UpdateSingle {
@@ -407,13 +504,24 @@ impl Engine {
             } => {
                 let epoch = target.next_epoch_at(sim.now().as_ns());
                 target
-                    .punch_array(sim, cont, Self::oid_key(oid), &dkey, &akey, offset, len, epoch)
+                    .punch_array(
+                        sim,
+                        cont,
+                        Self::oid_key(oid),
+                        &dkey,
+                        &akey,
+                        offset,
+                        len,
+                        epoch,
+                    )
                     .await;
                 Response::Ok
             }
             Request::PunchObject { cont, oid, .. } => {
                 let epoch = target.next_epoch_at(sim.now().as_ns());
-                target.punch_object(sim, cont, Self::oid_key(oid), epoch).await;
+                target
+                    .punch_object(sim, cont, Self::oid_key(oid), epoch)
+                    .await;
                 Response::Ok
             }
             Request::ListDkeys { cont, oid, .. } => {
@@ -422,7 +530,9 @@ impl Engine {
                     .await;
                 Response::Dkeys(keys)
             }
-            Request::ArrayMaxChunk { cont, oid, akey, .. } => {
+            Request::ArrayMaxChunk {
+                cont, oid, akey, ..
+            } => {
                 let mc = target
                     .array_max_chunk(sim, cont, Self::oid_key(oid), &akey, u64::MAX)
                     .await;

@@ -25,12 +25,16 @@ pub mod cluster;
 pub mod engine;
 pub mod pool;
 pub mod proto;
+pub mod rebuild;
 
-pub use client::{ArrayHandle, ContainerHandle, DaosClient, KvHandle, ObjectHandle, PoolHandle};
+pub use client::{
+    ArrayHandle, ContainerHandle, DaosClient, KvHandle, ObjectHandle, PoolHandle, RetryPolicy,
+};
 pub use cluster::{Cluster, ClusterConfig};
 pub use engine::{Engine, EngineConfig};
-pub use pool::{PoolOp, PoolState};
+pub use pool::{HeartbeatConfig, PoolOp, PoolState};
 pub use proto::{DaosError, Request, Response};
+pub use rebuild::RebuildStats;
 
 /// Container id within a pool.
 pub type ContId = u64;

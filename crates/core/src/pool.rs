@@ -12,7 +12,9 @@ use std::collections::{BTreeMap, BTreeSet};
 use std::rc::Rc;
 
 use daos_fabric::{Endpoint, Fabric, NodeId};
+use daos_placement::TargetId;
 use daos_raft::{Apply, Config as RaftConfig, Message, Raft, Role};
+use daos_sim::executor::join_all;
 use daos_sim::time::SimDuration;
 use daos_sim::Sim;
 
@@ -27,13 +29,34 @@ pub enum PoolOp {
     ContCreate(ContId),
     ContOpen(ContId),
     ContDestroy(ContId),
+    /// Exclude targets from the pool map (failure detector or admin).
+    Exclude(Vec<TargetId>),
+    /// Re-admit previously excluded targets.
+    Reintegrate(Vec<TargetId>),
 }
 
 /// The replicated state machine: the pool's metadata.
-#[derive(Clone, Debug, Default, PartialEq, Eq)]
+#[derive(Clone, Debug, PartialEq, Eq)]
 pub struct PoolState {
     pub containers: BTreeSet<ContId>,
     pub connections: u64,
+    /// Targets excluded from placement; the authoritative pool map.
+    pub excluded: BTreeSet<TargetId>,
+    /// Pool-map version, bumped once per exclusion/reintegration batch.
+    pub map_version: u32,
+}
+
+impl Default for PoolState {
+    fn default() -> Self {
+        PoolState {
+            containers: BTreeSet::new(),
+            connections: 0,
+            excluded: BTreeSet::new(),
+            // matches PoolMap::new so client caches and the service agree
+            // on the healthy-map version
+            map_version: 1,
+        }
+    }
 }
 
 impl PoolState {
@@ -72,32 +95,73 @@ impl PoolState {
                     Response::Err(DaosError::NoContainer(*c))
                 }
             }
+            PoolOp::Exclude(ts) => {
+                let mut changed = false;
+                for &t in ts {
+                    changed |= self.excluded.insert(t);
+                }
+                if changed {
+                    self.map_version += 1;
+                }
+                self.map_info()
+            }
+            PoolOp::Reintegrate(ts) => {
+                let mut changed = false;
+                for t in ts {
+                    changed |= self.excluded.remove(t);
+                }
+                if changed {
+                    self.map_version += 1;
+                }
+                self.map_info()
+            }
+        }
+    }
+
+    /// The current map as a wire response.
+    pub fn map_info(&self) -> Response {
+        Response::PoolMapInfo {
+            version: self.map_version,
+            excluded: self.excluded.iter().copied().collect(),
         }
     }
 
     /// Serialise for RAFT snapshots.
     pub fn to_bytes(&self) -> Vec<u8> {
-        let mut v = Vec::with_capacity(16 + self.containers.len() * 8);
+        let mut v = Vec::with_capacity(32 + self.containers.len() * 8 + self.excluded.len() * 8);
         v.extend_from_slice(&self.connections.to_le_bytes());
+        v.extend_from_slice(&(self.map_version as u64).to_le_bytes());
         v.extend_from_slice(&(self.containers.len() as u64).to_le_bytes());
         for c in &self.containers {
             v.extend_from_slice(&c.to_le_bytes());
+        }
+        v.extend_from_slice(&(self.excluded.len() as u64).to_le_bytes());
+        for t in &self.excluded {
+            v.extend_from_slice(&(*t as u64).to_le_bytes());
         }
         v
     }
 
     /// Restore from a snapshot produced by [`PoolState::to_bytes`].
     pub fn from_bytes(data: &[u8]) -> PoolState {
-        if data.len() < 16 {
+        if data.len() < 32 {
             return PoolState::default();
         }
         let rd = |i: usize| u64::from_le_bytes(data[i..i + 8].try_into().unwrap());
         let connections = rd(0);
-        let n = rd(8) as usize;
-        let containers = (0..n).map(|i| rd(16 + i * 8)).collect();
+        let map_version = rd(8) as u32;
+        let n = rd(16) as usize;
+        let containers = (0..n).map(|i| rd(24 + i * 8)).collect();
+        let e_base = 24 + n * 8;
+        let n_excl = rd(e_base) as usize;
+        let excluded = (0..n_excl)
+            .map(|i| rd(e_base + 8 + i * 8) as TargetId)
+            .collect();
         PoolState {
             containers,
             connections,
+            excluded,
+            map_version,
         }
     }
 }
@@ -117,6 +181,11 @@ pub struct PoolReplica {
     node: NodeId,
     engines: u32,
     targets_per_engine: u32,
+    /// Invoked (with the post-apply state) when an exclusion or
+    /// reintegration commits on the current leader — the hook the testbed
+    /// uses to kick off rebuild.
+    #[allow(clippy::type_complexity)]
+    on_map_change: RefCell<Option<Box<dyn Fn(&Sim, &PoolOp, &PoolState)>>>,
 }
 
 impl PoolReplica {
@@ -131,6 +200,10 @@ impl PoolReplica {
     /// The replicated state (for assertions).
     pub fn state(&self) -> PoolState {
         self.state.borrow().clone()
+    }
+    /// Install the map-change hook (see [`PoolReplica::on_map_change`]).
+    pub fn set_on_map_change(&self, f: impl Fn(&Sim, &PoolOp, &PoolState) + 'static) {
+        *self.on_map_change.borrow_mut() = Some(Box::new(f));
     }
 
     fn dispatch(self: &Rc<Self>, sim: &Sim, envs: Vec<daos_raft::Envelope<PoolOp>>) {
@@ -150,7 +223,7 @@ impl PoolReplica {
         }
     }
 
-    fn harvest(self: &Rc<Self>, applies: Vec<Apply<PoolOp>>) {
+    fn harvest(self: &Rc<Self>, sim: &Sim, applies: Vec<Apply<PoolOp>>) {
         for ev in applies {
             match ev {
                 Apply::Committed(entry) => {
@@ -161,6 +234,15 @@ impl PoolReplica {
                     );
                     if let Some(tx) = self.pending.borrow_mut().remove(&entry.index) {
                         tx.send(rsp);
+                    }
+                    // fire the rebuild hook exactly once across the replica
+                    // set: on whichever replica is currently leading
+                    if matches!(entry.cmd, PoolOp::Exclude(_) | PoolOp::Reintegrate(_))
+                        && self.raft.borrow().role() == Role::Leader
+                    {
+                        if let Some(f) = self.on_map_change.borrow().as_ref() {
+                            f(sim, &entry.cmd, &self.state.borrow());
+                        }
                     }
                 }
                 Apply::Restore(snap) => {
@@ -181,6 +263,20 @@ impl PoolReplica {
             Request::ContCreate { cont } => PoolOp::ContCreate(cont),
             Request::ContOpen { cont } => PoolOp::ContOpen(cont),
             Request::ContDestroy { cont } => PoolOp::ContDestroy(cont),
+            // read-only: the leader answers straight from applied state
+            Request::PoolQuery => {
+                let rsp = if self.raft.borrow().role() == Role::Leader {
+                    self.state.borrow().map_info()
+                } else {
+                    Response::Err(DaosError::NotLeader {
+                        hint: self.raft.borrow().leader_hint(),
+                    })
+                };
+                reply.send(rsp);
+                return;
+            }
+            Request::PoolExclude { targets } => PoolOp::Exclude(targets),
+            Request::PoolReintegrate { targets } => PoolOp::Reintegrate(targets),
             other => {
                 reply.send(Response::Err(DaosError::Other(format!(
                     "not a control op: {other:?}"
@@ -195,7 +291,7 @@ impl PoolReplica {
                 self.pending.borrow_mut().insert(index, reply);
                 self.dispatch(sim, outs);
                 let applies = self.raft.borrow_mut().take_applies();
-                drop_if_empty(applies, |a| self.harvest(a));
+                drop_if_empty(applies, |a| self.harvest(sim, a));
             }
             Err(nl) => {
                 reply.send(Response::Err(DaosError::NotLeader { hint: nl.hint }));
@@ -210,17 +306,45 @@ fn drop_if_empty<T>(v: Vec<T>, f: impl FnOnce(Vec<T>)) {
     }
 }
 
+/// Failure-detector tuning.
+#[derive(Clone, Copy, Debug)]
+pub struct HeartbeatConfig {
+    /// How often the leader pings every engine.
+    pub interval: SimDuration,
+    /// Per-ping deadline; no answer within it counts as a miss.
+    pub timeout: SimDuration,
+    /// Consecutive misses before the engine's targets are excluded.
+    pub suspect: u32,
+}
+
+impl Default for HeartbeatConfig {
+    fn default() -> Self {
+        HeartbeatConfig {
+            interval: SimDuration::from_ms(10),
+            timeout: SimDuration::from_ms(2),
+            suspect: 3,
+        }
+    }
+}
+
 /// Build and start the pool service across `members`:
 /// `(raft_id, fabric node, control queue)` per replica.
 ///
+/// `engine_eps` lists every engine's RPC endpoint `(engine index,
+/// endpoint)`; the current leader heartbeats them all, gossiping the map
+/// version and proposing exclusion after `hb.suspect` consecutive misses.
+///
 /// Returns the replicas (index-aligned with `members`).
+#[allow(clippy::too_many_arguments)]
 pub fn spawn_pool_service(
     sim: &Sim,
     fabric: &Rc<Fabric>,
     members: Vec<(u64, NodeId, ControlQueue)>,
+    engine_eps: Vec<(u32, Rc<Endpoint<Request, Response>>)>,
     engines: u32,
     targets_per_engine: u32,
     tick: SimDuration,
+    hb: HeartbeatConfig,
 ) -> Vec<Rc<PoolReplica>> {
     let ids: Vec<u64> = members.iter().map(|(id, _, _)| *id).collect();
     let replicas: Vec<Rc<PoolReplica>> = members
@@ -236,6 +360,7 @@ pub fn spawn_pool_service(
                 node: *node,
                 engines,
                 targets_per_engine,
+                on_map_change: RefCell::new(None),
             })
         })
         .collect();
@@ -266,13 +391,13 @@ pub fn spawn_pool_service(
                     let outs = r.raft.borrow_mut().step(from, msg);
                     r.dispatch(&s, outs);
                     let applies = r.raft.borrow_mut().take_applies();
-                    r.harvest(applies);
+                    r.harvest(&s, applies);
                 }
                 // 3. logical clock tick
                 let outs = r.raft.borrow_mut().tick();
                 r.dispatch(&s, outs);
                 let applies = r.raft.borrow_mut().take_applies();
-                r.harvest(applies);
+                r.harvest(&s, applies);
                 // 4. compaction
                 {
                     let mut raft = r.raft.borrow_mut();
@@ -282,6 +407,71 @@ pub fn spawn_pool_service(
                     }
                 }
                 s.sleep(tick).await;
+            }
+        });
+    }
+
+    // Failure detector: every replica runs the loop, but only the current
+    // leader actually pings. Pings double as gossip — they carry the map
+    // version and each engine's excluded local targets, which is how a
+    // restarted engine relearns what it must reject.
+    for r in &replicas {
+        let r = Rc::clone(r);
+        let eps = engine_eps.clone();
+        let s = sim.clone();
+        sim.spawn(async move {
+            let mut misses: BTreeMap<u32, u32> = BTreeMap::new();
+            let mut proposed: BTreeSet<u32> = BTreeSet::new();
+            loop {
+                s.sleep(hb.interval).await;
+                if r.role() != Role::Leader {
+                    misses.clear();
+                    proposed.clear();
+                    continue;
+                }
+                let (version, excluded) = {
+                    let st = r.state.borrow();
+                    (st.map_version, st.excluded.clone())
+                };
+                let futs: Vec<_> = eps
+                    .iter()
+                    .map(|(idx, ep)| {
+                        let idx = *idx;
+                        let ep = Rc::clone(ep);
+                        let from = r.node;
+                        let s = s.clone();
+                        let local: Vec<u32> = excluded
+                            .iter()
+                            .filter(|&&t| t / targets_per_engine == idx)
+                            .map(|&t| t % targets_per_engine)
+                            .collect();
+                        async move {
+                            let req = Request::Ping {
+                                version,
+                                excluded: local,
+                            };
+                            let ok = ep.call_deadline(&s, from, req, 0, hb.timeout).await.is_ok();
+                            (idx, ok)
+                        }
+                    })
+                    .collect();
+                for (idx, ok) in join_all(&s, futs).await {
+                    if ok {
+                        misses.insert(idx, 0);
+                        proposed.remove(&idx);
+                        continue;
+                    }
+                    let m = misses.entry(idx).or_insert(0);
+                    *m += 1;
+                    let dark: Vec<TargetId> = (idx * targets_per_engine
+                        ..(idx + 1) * targets_per_engine)
+                        .filter(|t| !excluded.contains(t))
+                        .collect();
+                    if *m >= hb.suspect && !dark.is_empty() && proposed.insert(idx) {
+                        let (tx, _rx) = daos_sim::oneshot();
+                        r.handle_control(&s, Request::PoolExclude { targets: dark }, tx);
+                    }
+                }
             }
         });
     }
@@ -295,7 +485,13 @@ mod tests {
     #[test]
     fn pool_state_apply_semantics() {
         let mut st = PoolState::default();
-        assert!(matches!(st.apply(&PoolOp::Connect, 4, 8), Response::Connected { engines: 4, targets_per_engine: 8 }));
+        assert!(matches!(
+            st.apply(&PoolOp::Connect, 4, 8),
+            Response::Connected {
+                engines: 4,
+                targets_per_engine: 8
+            }
+        ));
         assert!(st.apply(&PoolOp::ContCreate(1), 4, 8).ok().is_ok());
         assert_eq!(
             st.apply(&PoolOp::ContCreate(1), 4, 8).ok(),

@@ -17,22 +17,66 @@ pub enum DaosError {
     ContainerExists(ContId),
     /// RPC transport failure (endpoint closed).
     Transport,
+    /// No response within the RPC deadline (node dark, partition, loss, or
+    /// an overloaded server). Retryable.
+    Timeout,
+    /// The server rejected the op because the client routed it with an
+    /// out-of-date pool map; `version` is the server's current map version.
+    /// Retryable after a pool-map refresh.
+    StaleMap { version: u32 },
+    /// A degraded read ran out of replicas / reconstruction sources: every
+    /// shard that could serve the data is excluded or unreachable.
+    NoSurvivingReplicas,
+    /// The server answered with a response kind the caller cannot use —
+    /// a protocol mismatch, not retryable.
+    UnexpectedResponse(String),
     /// Anything else.
     Other(String),
+}
+
+impl DaosError {
+    /// Whether a client may retry the failed op (after backoff and, for
+    /// [`DaosError::StaleMap`], a pool-map refresh).
+    pub fn is_retryable(&self) -> bool {
+        matches!(
+            self,
+            DaosError::Timeout
+                | DaosError::Transport
+                | DaosError::StaleMap { .. }
+                | DaosError::NotLeader { .. }
+        )
+    }
 }
 
 impl std::fmt::Display for DaosError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
-            DaosError::NotLeader { hint } => write!(f, "not the pool-service leader (hint {hint:?})"),
+            DaosError::NotLeader { hint } => {
+                write!(f, "not the pool-service leader (hint {hint:?})")
+            }
             DaosError::NoContainer(c) => write!(f, "no such container {c}"),
             DaosError::ContainerExists(c) => write!(f, "container {c} exists"),
             DaosError::Transport => write!(f, "rpc transport failure"),
+            DaosError::Timeout => write!(f, "rpc deadline exceeded"),
+            DaosError::StaleMap { version } => {
+                write!(f, "stale pool map (server at version {version})")
+            }
+            DaosError::NoSurvivingReplicas => write!(f, "no surviving replica for shard"),
+            DaosError::UnexpectedResponse(s) => write!(f, "unexpected response {s}"),
             DaosError::Other(s) => write!(f, "{s}"),
         }
     }
 }
 impl std::error::Error for DaosError {}
+
+impl From<daos_fabric::CallError> for DaosError {
+    fn from(e: daos_fabric::CallError) -> Self {
+        match e {
+            daos_fabric::CallError::Timeout => DaosError::Timeout,
+            daos_fabric::CallError::Closed => DaosError::Transport,
+        }
+    }
+}
 
 /// A request addressed to one engine; data-plane ops carry the local target
 /// index the shard lives on.
@@ -105,8 +149,26 @@ pub enum Request {
     QueryEpoch {
         target: u32,
     },
+    /// Pool-service heartbeat probing engine liveness; gossips the current
+    /// pool-map version and the engine's locally-excluded targets.
+    Ping {
+        version: u32,
+        excluded: Vec<u32>,
+    },
     // ---------------------------------------------------- control plane
     PoolConnect,
+    /// Read the current pool map (version + excluded targets) from the
+    /// pool-service leader's applied state.
+    PoolQuery,
+    /// Administratively exclude targets (also proposed by the failure
+    /// detector when an engine stops answering heartbeats).
+    PoolExclude {
+        targets: Vec<daos_placement::TargetId>,
+    },
+    /// Re-admit previously excluded targets (after restart + rebuild).
+    PoolReintegrate {
+        targets: Vec<daos_placement::TargetId>,
+    },
     ContCreate {
         cont: ContId,
     },
@@ -134,8 +196,12 @@ impl Request {
 pub enum Response {
     Ok,
     /// Epoch assigned to an update.
-    Written { epoch: Epoch },
-    Fetched { segs: Vec<ReadSeg> },
+    Written {
+        epoch: Epoch,
+    },
+    Fetched {
+        segs: Vec<ReadSeg>,
+    },
     Single(Option<Payload>),
     Dkeys(Vec<Key>),
     /// Reply to `ArrayMaxChunk`.
@@ -143,7 +209,18 @@ pub enum Response {
     /// Reply to `QueryEpoch`.
     Epoch(Epoch),
     /// Pool-map summary returned by PoolConnect / ContOpen.
-    Connected { engines: u32, targets_per_engine: u32 },
+    Connected {
+        engines: u32,
+        targets_per_engine: u32,
+    },
+    /// Reply to `Ping`.
+    Pong,
+    /// Reply to `PoolQuery`: the authoritative map version and excluded
+    /// target set.
+    PoolMapInfo {
+        version: u32,
+        excluded: Vec<daos_placement::TargetId>,
+    },
     Err(DaosError),
 }
 
@@ -165,9 +242,13 @@ impl Response {
     /// Unwrap into a unit result.
     pub fn ok(self) -> Result<(), DaosError> {
         match self {
-            Response::Ok | Response::Written { .. } | Response::Connected { .. } => Ok(()),
+            Response::Ok
+            | Response::Written { .. }
+            | Response::Connected { .. }
+            | Response::Pong
+            | Response::PoolMapInfo { .. } => Ok(()),
             Response::Err(e) => Err(e),
-            other => Err(DaosError::Other(format!("unexpected response {other:?}"))),
+            other => Err(DaosError::UnexpectedResponse(format!("{other:?}"))),
         }
     }
 }

@@ -1,0 +1,424 @@
+//! Background rebuild: re-protecting objects after a pool-map change.
+//!
+//! When targets are excluded, protected objects (`RP_n`, `EC_k+p`) get new
+//! layouts; the shards that moved must be repopulated on their new homes
+//! from the surviving group members — a copy for replication, an XOR
+//! reconstruction for erasure coding. Reintegration is the same pass run in
+//! reverse: the layout reverts and the returning shards are refilled from
+//! the replicas that served while the target was out.
+//!
+//! The pass is server-pull, as in DAOS: the destination engine's node
+//! issues the fetch and update RPCs, so repair traffic competes with
+//! foreground I/O for engine bandwidth. Concurrency is bounded by the
+//! `rebuild_inflight` knob.
+
+use std::collections::BTreeSet;
+use std::rc::Rc;
+
+use daos_placement::{place, ObjectClass, ObjectId, PoolMap, TargetId};
+use daos_sim::executor::join_all;
+use daos_sim::time::SimDuration;
+use daos_sim::{Semaphore, Sim};
+use daos_vos::tree::ReadSeg;
+use daos_vos::{key, Epoch, Payload};
+
+use crate::client::group_of_chunk;
+use crate::cluster::Cluster;
+use crate::proto::{Request, Response};
+
+/// Per-RPC deadline inside a rebuild pass; a source that stays dark this
+/// long is skipped and the chunk is left for the next pass.
+const REPAIR_RPC_DEADLINE: SimDuration = SimDuration::from_secs(2);
+
+/// What a rebuild pass accomplished.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct RebuildStats {
+    /// Rebuild passes merged into these stats.
+    pub passes: u64,
+    /// Registered objects examined.
+    pub objects_scanned: u64,
+    /// Shards whose target changed between the old and new map.
+    pub shards_moved: u64,
+    /// Chunks copied or reconstructed onto their new target.
+    pub chunks_repaired: u64,
+    /// Bytes written to the new targets.
+    pub bytes_moved: u64,
+    /// Chunks left unrepaired (no live donor or RPC failure).
+    pub chunks_skipped: u64,
+}
+
+impl RebuildStats {
+    /// Fold another pass's stats into this one.
+    pub fn merge(&mut self, other: &RebuildStats) {
+        self.passes += other.passes;
+        self.objects_scanned += other.objects_scanned;
+        self.shards_moved += other.shards_moved;
+        self.chunks_repaired += other.chunks_repaired;
+        self.bytes_moved += other.bytes_moved;
+        self.chunks_skipped += other.chunks_skipped;
+    }
+}
+
+fn map_with(cluster: &Cluster, excluded: &BTreeSet<TargetId>) -> PoolMap {
+    let mut m = PoolMap::new(cluster.cfg.engine_count(), cluster.cfg.targets_per_engine);
+    for &t in excluded {
+        m.exclude(t);
+    }
+    m
+}
+
+/// Materialise shard-relative segments into `len` bytes (holes = 0);
+/// `false` if no segment carried data.
+fn flatten(segs: &[ReadSeg], len: u64) -> (Vec<u8>, bool) {
+    let mut out = vec![0u8; len as usize];
+    let mut any = false;
+    for s in segs {
+        if let Some(d) = &s.data {
+            let m = d.materialize();
+            out[s.offset as usize..(s.offset + s.len) as usize].copy_from_slice(&m);
+            any = true;
+        }
+    }
+    (out, any)
+}
+
+/// One engine-to-engine RPC, issued from `from_engine`'s node.
+async fn engine_rpc(
+    sim: &Sim,
+    cluster: &Cluster,
+    from_engine: u32,
+    to_target: TargetId,
+    req: Request,
+) -> Option<Response> {
+    let tpe = cluster.cfg.targets_per_engine;
+    let from = cluster.engine(from_engine).node();
+    let bulk = req.bulk_in();
+    cluster
+        .engine(to_target / tpe)
+        .endpoint()
+        .call_deadline(sim, from, req, bulk, REPAIR_RPC_DEADLINE)
+        .await
+        .ok()
+}
+
+/// Fetch `[0, len)` of one chunk cell/replica from `src` target.
+#[allow(clippy::too_many_arguments)]
+async fn fetch_from(
+    sim: &Sim,
+    cluster: &Cluster,
+    dest_engine: u32,
+    src: TargetId,
+    cont: u64,
+    oid: ObjectId,
+    dkey: &[u8],
+    len: u64,
+) -> Option<Vec<ReadSeg>> {
+    let tpe = cluster.cfg.targets_per_engine;
+    let rsp = engine_rpc(
+        sim,
+        cluster,
+        dest_engine,
+        src,
+        Request::FetchArray {
+            target: src % tpe,
+            cont,
+            oid,
+            dkey: dkey.to_vec(),
+            akey: key("0"),
+            offset: 0,
+            len,
+            epoch: Epoch::MAX,
+        },
+    )
+    .await?;
+    match rsp {
+        Response::Fetched { segs } => Some(segs),
+        _ => None,
+    }
+}
+
+/// Write `data` at `offset` of one chunk on `dst` target.
+#[allow(clippy::too_many_arguments)]
+async fn write_to(
+    sim: &Sim,
+    cluster: &Cluster,
+    dst: TargetId,
+    cont: u64,
+    oid: ObjectId,
+    dkey: &[u8],
+    offset: u64,
+    data: Payload,
+) -> bool {
+    let tpe = cluster.cfg.targets_per_engine;
+    let dest_engine = dst / tpe;
+    matches!(
+        engine_rpc(
+            sim,
+            cluster,
+            dest_engine,
+            dst,
+            Request::UpdateArray {
+                target: dst % tpe,
+                cont,
+                oid,
+                dkey: dkey.to_vec(),
+                akey: key("0"),
+                offset,
+                data,
+            },
+        )
+        .await,
+        Some(Response::Written { .. })
+    )
+}
+
+/// Repair one chunk of one moved shard; returns bytes written, or `None`
+/// if the chunk could not be repaired.
+#[allow(clippy::too_many_arguments)]
+async fn repair_chunk(
+    sim: &Sim,
+    cluster: &Cluster,
+    cont: u64,
+    oid: ObjectId,
+    class: ObjectClass,
+    chunk_size: u64,
+    chunk: u64,
+    moved_shard: u32,
+    group: std::ops::Range<u32>,
+    donors: &[u32],
+    new_targets: &[TargetId],
+) -> Option<u64> {
+    let dkey = chunk.to_be_bytes().to_vec();
+    let dst = new_targets[moved_shard as usize];
+    let dest_engine = dst / cluster.cfg.targets_per_engine;
+    match class {
+        ObjectClass::Replicated { .. } => {
+            // copy the whole chunk from the first live replica
+            let donor = *donors.first()?;
+            let segs = fetch_from(
+                sim,
+                cluster,
+                dest_engine,
+                new_targets[donor as usize],
+                cont,
+                oid,
+                &dkey,
+                chunk_size,
+            )
+            .await?;
+            let mut moved = 0;
+            for s in segs {
+                if let Some(d) = s.data {
+                    moved += d.len();
+                    if !write_to(sim, cluster, dst, cont, oid, &dkey, s.offset, d).await {
+                        return None;
+                    }
+                }
+            }
+            Some(moved)
+        }
+        ObjectClass::ErasureCoded {
+            data: k, parity, ..
+        } => {
+            let (k, parity) = (k as u32, parity as u32);
+            let cell = chunk_size / k as u64;
+            let c = moved_shard - group.start; // cell index within the group
+                                               // XOR set: every other data cell, plus one parity when the lost
+                                               // cell is itself a data cell (all parity cells are XOR parity)
+            let mut sources: Vec<u32> = (0..k)
+                .filter(|&d| d != c)
+                .map(|d| group.start + d)
+                .collect();
+            if c < k {
+                let p = (k..k + parity)
+                    .map(|j| group.start + j)
+                    .find(|s| donors.contains(s))?;
+                sources.push(p);
+            }
+            let mut acc = vec![0u8; cell as usize];
+            let mut any = false;
+            for src in sources {
+                let segs = fetch_from(
+                    sim,
+                    cluster,
+                    dest_engine,
+                    new_targets[src as usize],
+                    cont,
+                    oid,
+                    &dkey,
+                    cell,
+                )
+                .await?;
+                let (bytes, had) = flatten(&segs, cell);
+                any |= had;
+                for (o, b) in acc.iter_mut().zip(bytes) {
+                    *o ^= b;
+                }
+            }
+            if !any {
+                return Some(0); // chunk exists but this stripe was never written
+            }
+            if !write_to(sim, cluster, dst, cont, oid, &dkey, 0, Payload::bytes(acc)).await {
+                return None;
+            }
+            Some(cell)
+        }
+        _ => None,
+    }
+}
+
+/// Push map version `version` to every engine that may host repair
+/// destinations: a returning engine that still believes its own targets
+/// are excluded would reject the repair writes with `StaleMap`. Engines
+/// whose targets are all excluded are skipped (nothing lands on them, and
+/// after a crash they may be dark).
+async fn push_map(sim: &Sim, cluster: &Cluster, version: u32, new_excluded: &BTreeSet<TargetId>) {
+    let tpe = cluster.cfg.targets_per_engine;
+    for e in 0..cluster.cfg.engine_count() {
+        let local: Vec<u32> = new_excluded
+            .iter()
+            .filter(|&&t| t / tpe == e)
+            .map(|&t| t % tpe)
+            .collect();
+        if local.len() as u32 == tpe {
+            continue;
+        }
+        engine_rpc(
+            sim,
+            cluster,
+            e,
+            e * tpe,
+            Request::Ping {
+                version,
+                excluded: local,
+            },
+        )
+        .await;
+    }
+}
+
+/// Run one rebuild pass for a map transition `old_excluded → new_excluded`
+/// committed as map version `version`.
+pub(crate) async fn run(
+    sim: &Sim,
+    cluster: &Rc<Cluster>,
+    version: u32,
+    old_excluded: &BTreeSet<TargetId>,
+    new_excluded: &BTreeSet<TargetId>,
+) -> RebuildStats {
+    let mut stats = RebuildStats {
+        passes: 1,
+        ..RebuildStats::default()
+    };
+    push_map(sim, cluster, version, new_excluded).await;
+    let old_map = map_with(cluster, old_excluded);
+    let new_map = map_with(cluster, new_excluded);
+    let throttle = Semaphore::new(cluster.cfg.rebuild_inflight.max(1) as usize);
+
+    for (cont, oid, class, chunk_size) in cluster.registered_objects() {
+        let protected = matches!(
+            class,
+            ObjectClass::Replicated { .. } | ObjectClass::ErasureCoded { .. }
+        );
+        let Some(chunk_size) = chunk_size else {
+            continue;
+        };
+        if !protected {
+            continue; // unprotected shards on a dead target are just lost
+        }
+        stats.objects_scanned += 1;
+        let old_layout = place(oid, class, &old_map);
+        let new_layout = place(oid, class, &new_map);
+        if old_layout.shards == new_layout.shards {
+            continue;
+        }
+        let gw = class.group_width();
+        let width = new_layout.width();
+        let group_count = (width / gw).max(1);
+        let moved: Vec<u32> = (0..width)
+            .filter(|&s| old_layout.target_of(s) != new_layout.target_of(s))
+            .collect();
+
+        for &s in &moved {
+            stats.shards_moved += 1;
+            let g = s / gw;
+            let group = g * gw..(g + 1) * gw;
+            // donors: group members that stayed put on live targets
+            let donors: Vec<u32> = group
+                .clone()
+                .filter(|&d| {
+                    d != s
+                        && old_layout.target_of(d) == new_layout.target_of(d)
+                        && !new_map.is_excluded(new_layout.target_of(d))
+                })
+                .collect();
+            let Some(&lister) = donors.first() else {
+                stats.chunks_skipped += 1;
+                continue;
+            };
+            // every group member holds a piece of every chunk in the
+            // group, so one donor's dkey listing enumerates them all
+            let dest_engine = new_layout.target_of(s) / cluster.cfg.targets_per_engine;
+            let listed = engine_rpc(
+                sim,
+                cluster,
+                dest_engine,
+                new_layout.target_of(lister),
+                Request::ListDkeys {
+                    target: new_layout.target_of(lister) % cluster.cfg.targets_per_engine,
+                    cont,
+                    oid,
+                },
+            )
+            .await;
+            let Some(Response::Dkeys(dkeys)) = listed else {
+                stats.chunks_skipped += 1;
+                continue;
+            };
+            let chunks: Vec<u64> = dkeys
+                .iter()
+                .filter_map(|d| d.as_slice().try_into().ok().map(u64::from_be_bytes))
+                .filter(|&c| group_of_chunk(oid, c, group_count) == g)
+                .collect();
+            let new_targets: Vec<TargetId> = (0..width).map(|i| new_layout.target_of(i)).collect();
+            let futs: Vec<_> = chunks
+                .into_iter()
+                .map(|chunk| {
+                    let sim2 = sim.clone();
+                    let cluster = Rc::clone(cluster);
+                    let throttle = throttle.clone();
+                    let group = group.clone();
+                    let new_targets = new_targets.clone();
+                    let donors = donors.clone();
+                    async move {
+                        let _slot = throttle.acquire().await;
+                        repair_chunk(
+                            &sim2,
+                            &cluster,
+                            cont,
+                            oid,
+                            class,
+                            chunk_size,
+                            chunk,
+                            s,
+                            group,
+                            &donors,
+                            &new_targets,
+                        )
+                        .await
+                    }
+                })
+                .collect();
+            for r in join_all(sim, futs).await {
+                match r {
+                    Some(bytes) => {
+                        stats.chunks_repaired += 1;
+                        stats.bytes_moved += bytes;
+                    }
+                    None => stats.chunks_skipped += 1,
+                }
+            }
+        }
+    }
+    stats
+}

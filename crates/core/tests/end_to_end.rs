@@ -81,13 +81,17 @@ fn kv_put_get_round_trip() {
         let pool = client.connect(&sim).await.unwrap();
         let cont = pool.create_container(&sim, 1).await.unwrap();
         let kv = cont.object(ObjectId::new(1, 1), ObjectClass::S1).kv();
-        kv.put(&sim, "alpha", Payload::bytes(vec![1, 2, 3])).await.unwrap();
+        kv.put(&sim, "alpha", Payload::bytes(vec![1, 2, 3]))
+            .await
+            .unwrap();
         kv.put(&sim, "beta", Payload::bytes(vec![4])).await.unwrap();
         let v = kv.get(&sim, "alpha").await.unwrap().unwrap();
         assert_eq!(&v.materialize()[..], &[1, 2, 3]);
         assert!(kv.get(&sim, "gamma").await.unwrap().is_none());
         // overwrite
-        kv.put(&sim, "alpha", Payload::bytes(vec![9, 9])).await.unwrap();
+        kv.put(&sim, "alpha", Payload::bytes(vec![9, 9]))
+            .await
+            .unwrap();
         let v = kv.get(&sim, "alpha").await.unwrap().unwrap();
         assert_eq!(&v.materialize()[..], &[9, 9]);
         let keys = kv.list(&sim).await.unwrap();
@@ -129,9 +133,15 @@ fn array_overwrite_latest_wins() {
         let client = DaosClient::new(Rc::clone(&cluster), 0);
         let pool = client.connect(&sim).await.unwrap();
         let cont = pool.create_container(&sim, 1).await.unwrap();
-        let arr = cont.object(ObjectId::new(3, 3), ObjectClass::S2).array(64 * 1024);
-        arr.write(&sim, 0, Payload::pattern(1, 256 * 1024)).await.unwrap();
-        arr.write(&sim, 100_000, Payload::pattern(2, 50_000)).await.unwrap();
+        let arr = cont
+            .object(ObjectId::new(3, 3), ObjectClass::S2)
+            .array(64 * 1024);
+        arr.write(&sim, 0, Payload::pattern(1, 256 * 1024))
+            .await
+            .unwrap();
+        arr.write(&sim, 100_000, Payload::pattern(2, 50_000))
+            .await
+            .unwrap();
         let got = arr.read_bytes(&sim, 0, 256 * 1024).await.unwrap();
         let base = Payload::pattern(1, 256 * 1024).materialize();
         let over = Payload::pattern(2, 50_000).materialize();
@@ -154,7 +164,10 @@ fn punch_unlinks_object_everywhere() {
         arr.write(&sim, 0, Payload::pattern(1, MIB)).await.unwrap();
         obj.punch(&sim).await.unwrap();
         let got = arr.read_bytes(&sim, 0, MIB).await.unwrap();
-        assert!(got.iter().all(|&b| b == 0), "punched object must read empty");
+        assert!(
+            got.iter().all(|&b| b == 0),
+            "punched object must read empty"
+        );
     });
 }
 
@@ -207,7 +220,9 @@ fn io_takes_simulated_time_and_is_deterministic() {
             let arr = cont.object(ObjectId::new(2, 2), ObjectClass::S2).array(MIB);
             let t0 = sim.now();
             for i in 0..16u64 {
-                arr.write(&sim, i * MIB, Payload::pattern(i, MIB)).await.unwrap();
+                arr.write(&sim, i * MIB, Payload::pattern(i, MIB))
+                    .await
+                    .unwrap();
             }
             (sim.now() - t0).as_ns()
         })

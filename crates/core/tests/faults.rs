@@ -1,0 +1,211 @@
+//! Chaos tests: an engine dies mid-run and the stack recovers end to end —
+//! heartbeat detection, raft-committed exclusion, client retry/re-route,
+//! background rebuild, and reintegration — with data verified
+//! byte-for-byte. Every scenario is run twice to prove the fault pipeline
+//! is deterministic under a fixed seed.
+
+use std::rc::Rc;
+
+use daos_core::{Cluster, ClusterConfig, DaosClient, RetryPolicy};
+use daos_placement::{ObjectClass, ObjectId};
+use daos_sim::fault::{FaultAction, FaultPlan};
+use daos_sim::time::{SimDuration, SimTime};
+use daos_sim::units::{KIB, MIB};
+use daos_sim::Sim;
+use daos_vos::Payload;
+
+fn testbed() -> ClusterConfig {
+    ClusterConfig {
+        server_nodes: 4,
+        engines_per_node: 1,
+        targets_per_engine: 4,
+        ..ClusterConfig::tiny(1)
+    }
+}
+
+/// Retry policy tight enough that a test doesn't spend seconds of virtual
+/// time per timeout, generous enough to ride out detection + commit.
+fn tight_retry() -> RetryPolicy {
+    RetryPolicy {
+        rpc_timeout: SimDuration::from_ms(2),
+        base_backoff: SimDuration::from_us(200),
+        max_backoff: SimDuration::from_ms(4),
+        max_attempts: 60,
+    }
+}
+
+/// Outcome snapshot used to compare two runs of the same scenario.
+#[derive(PartialEq, Debug)]
+struct Outcome {
+    final_time_ns: u64,
+    map_version: u32,
+    chunks_repaired: u64,
+    data: Vec<u8>,
+}
+
+/// The core chaos scenario: write under a protected class while an engine
+/// crashes mid-stream, wait for detection + exclusion + rebuild, verify
+/// the data, then restart + reintegrate and verify again.
+/// `server_nodes` must exceed the class's group width so redundancy groups
+/// stay engine-disjoint and a single crash costs each group one shard.
+fn crash_exclude_rebuild_reintegrate(seed: u64, class: ObjectClass, server_nodes: u32) -> Outcome {
+    let mut sim = Sim::new(seed);
+    let cfg = ClusterConfig {
+        server_nodes,
+        targets_per_engine: 2,
+        ..testbed()
+    };
+    let tpe = cfg.targets_per_engine;
+    let dead: Vec<u32> = (2 * tpe..3 * tpe).collect();
+    sim.block_on(move |sim| async move {
+        let cluster = Cluster::build(&sim, cfg);
+        let client = DaosClient::new(Rc::clone(&cluster), 0).with_retry(tight_retry());
+        let pool = client.connect(&sim).await.unwrap();
+        let cont = pool.create_container(&sim, 1).await.unwrap();
+        let obj = cont.object(ObjectId::new(7, 7), class);
+        let arr = obj.array(64 * KIB);
+        let data = Payload::pattern(42, 2 * MIB);
+
+        // phase A: first half lands on a healthy cluster
+        arr.write(&sim, 0, data.slice(0, MIB)).await.unwrap();
+
+        // engine 2 (not the pool service, which is engine 0) dies shortly
+        // after the second write burst starts
+        let crash_at = SimTime::from_ns(sim.now().as_ns() + 200_000);
+        let injector = cluster.install_fault_plan(
+            &sim,
+            FaultPlan::new().at(crash_at, FaultAction::Crash { node: 2 }),
+        );
+
+        // phase B: in-flight writes hit the dead engine, time out, and must
+        // retry until the heartbeat detector commits the exclusion and the
+        // refreshed layout routes around it
+        arr.write(&sim, MIB, data.slice(MIB, MIB)).await.unwrap();
+        assert_eq!(injector.fired().len(), 1, "crash must have fired");
+
+        // the exclusion is the only way those writes could have finished
+        let version_after_exclude = cluster.pool_map().version();
+        assert!(
+            version_after_exclude > 1,
+            "heartbeat detection must bump the map version"
+        );
+        let excluded = cluster.pool_map().excluded_targets();
+        assert_eq!(excluded, dead, "every target of engine 2 must be excluded");
+
+        // degraded read while the rebuild may still be running
+        let got = arr.read_bytes(&sim, 0, 2 * MIB).await.unwrap();
+        assert_eq!(got, data.materialize().to_vec(), "degraded read corrupt");
+
+        // let the background rebuild finish re-protecting the object
+        cluster.quiesce_rebuild(&sim).await;
+        let stats = cluster.rebuild_stats();
+        assert!(
+            stats.chunks_repaired > 0,
+            "rebuild must have repaired chunks: {stats:?}"
+        );
+        assert_eq!(stats.chunks_skipped, 0, "no chunk may be left behind");
+
+        // restart the engine and reintegrate its targets
+        cluster.apply_fault(&sim, FaultAction::Restart { node: 2 });
+        client
+            .control(
+                &sim,
+                daos_core::Request::PoolReintegrate {
+                    targets: dead.clone(),
+                },
+            )
+            .await
+            .unwrap();
+        client.refresh_pool_map(&sim).await;
+        let version_after_reint = cluster.pool_map().version();
+        assert!(
+            version_after_reint > version_after_exclude,
+            "reintegration must bump the map version again"
+        );
+        assert!(cluster.pool_map().excluded_targets().is_empty());
+        cluster.quiesce_rebuild(&sim).await;
+
+        // the reverted layout reads clean, including shards refilled onto
+        // the returned engine
+        let got = arr.read_bytes(&sim, 0, 2 * MIB).await.unwrap();
+        assert_eq!(
+            got,
+            data.materialize().to_vec(),
+            "post-reintegration read corrupt"
+        );
+
+        Outcome {
+            final_time_ns: sim.now().as_ns(),
+            map_version: version_after_reint,
+            chunks_repaired: cluster.rebuild_stats().chunks_repaired,
+            data: got,
+        }
+    })
+}
+
+#[test]
+fn engine_crash_heals_end_to_end_rp2() {
+    let a = crash_exclude_rebuild_reintegrate(0xC2A54, ObjectClass::RP_2GX, 4);
+    let b = crash_exclude_rebuild_reintegrate(0xC2A54, ObjectClass::RP_2GX, 4);
+    assert_eq!(a, b, "same seed + same fault plan must replay identically");
+}
+
+#[test]
+fn engine_crash_heals_end_to_end_ec() {
+    let class = ObjectClass::ErasureCoded {
+        data: 4,
+        parity: 1,
+        groups: None,
+    };
+    let a = crash_exclude_rebuild_reintegrate(0xEC41, class, 8);
+    let b = crash_exclude_rebuild_reintegrate(0xEC41, class, 8);
+    assert_eq!(a, b, "same seed + same fault plan must replay identically");
+}
+
+/// A crashed engine that comes back *without* being excluded (it returns
+/// before the detector's suspect count trips) keeps serving: transient
+/// blips are retried through, not escalated.
+#[test]
+fn transient_blip_is_retried_through() {
+    let mut sim = Sim::new(0xB11F);
+    let cfg = ClusterConfig {
+        heartbeat: daos_core::HeartbeatConfig {
+            interval: SimDuration::from_ms(2),
+            timeout: SimDuration::from_ms(1),
+            suspect: 50, // patient detector: the blip must not trip it
+        },
+        ..testbed()
+    };
+    sim.block_on(move |sim| async move {
+        let cluster = Cluster::build(&sim, cfg);
+        let client = DaosClient::new(Rc::clone(&cluster), 0).with_retry(tight_retry());
+        let pool = client.connect(&sim).await.unwrap();
+        let cont = pool.create_container(&sim, 1).await.unwrap();
+        let arr = cont
+            .object(ObjectId::new(9, 9), ObjectClass::RP_2GX)
+            .array(64 * KIB);
+        let data = Payload::pattern(7, MIB);
+
+        let t0 = sim.now().as_ns();
+        cluster.install_fault_plan(
+            &sim,
+            FaultPlan::new()
+                .at(
+                    SimTime::from_ns(t0 + 100_000),
+                    FaultAction::Crash { node: 1 },
+                )
+                .at(
+                    SimTime::from_ns(t0 + 3_100_000),
+                    FaultAction::Restart { node: 1 },
+                ),
+        );
+        arr.write(&sim, 0, data.clone()).await.unwrap();
+        let got = arr.read_bytes(&sim, 0, MIB).await.unwrap();
+        assert_eq!(got, data.materialize().to_vec());
+        assert_eq!(
+            cluster.pool_map().version(),
+            1,
+            "a 3 ms blip must not cause an exclusion"
+        );
+    });
+}

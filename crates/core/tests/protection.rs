@@ -123,7 +123,11 @@ fn erasure_coded_reconstructs_lost_data_cell() {
         let shards = obj.layout().shards.clone();
         cluster.exclude_target(shards[0]);
         let got = arr.read_bytes(&sim, 0, 512 * KIB).await.unwrap();
-        assert_eq!(got, data.materialize().to_vec(), "EC reconstruction corrupt");
+        assert_eq!(
+            got,
+            data.materialize().to_vec(),
+            "EC reconstruction corrupt"
+        );
         // also losing the parity shard exceeds p=1: reads of the lost cell fail
         cluster.exclude_target(shards[2]);
         assert!(arr.read(&sim, 0, 512 * KIB).await.is_err());
@@ -166,8 +170,12 @@ fn ec_partial_stripe_update_keeps_parity_consistent() {
         let arr = obj.array(256 * KIB);
         let cell = 128 * KIB;
         // full-chunk write, then overwrite only the second cell (RMW parity)
-        arr.write(&sim, 0, Payload::pattern(20, 256 * KIB)).await.unwrap();
-        arr.write(&sim, cell, Payload::pattern(21, cell)).await.unwrap();
+        arr.write(&sim, 0, Payload::pattern(20, 256 * KIB))
+            .await
+            .unwrap();
+        arr.write(&sim, cell, Payload::pattern(21, cell))
+            .await
+            .unwrap();
         // lose the FIRST cell's shard: reconstruction must reflect both writes
         let shards = obj.layout().shards.clone();
         cluster.exclude_target(shards[0]);

@@ -69,7 +69,9 @@ fn snapshots_are_monotone() {
         let arr = cont.object(ObjectId::new(3, 3), ObjectClass::SX).array(MIB);
         let mut last = 0;
         for i in 0..4u64 {
-            arr.write(&sim, i * MIB, Payload::pattern(i, MIB)).await.unwrap();
+            arr.write(&sim, i * MIB, Payload::pattern(i, MIB))
+                .await
+                .unwrap();
             let s = cont.snapshot(&sim).await.unwrap();
             assert!(s > last, "snapshot epochs must advance: {s} after {last}");
             last = s;

@@ -239,7 +239,10 @@ impl Dfs {
     fn alloc_oid(&self) -> ObjectId {
         let seq = self.next_oid.get();
         self.next_oid.set(seq + 1);
-        ObjectId::new(self.oid_salt.wrapping_add(0x100), seq.wrapping_mul(2) + 0x10)
+        ObjectId::new(
+            self.oid_salt.wrapping_add(0x100),
+            seq.wrapping_mul(2) + 0x10,
+        )
     }
 
     fn dir_kv(&self, oid: ObjectId) -> daos_core::KvHandle {
@@ -328,7 +331,11 @@ impl Dfs {
     }
 
     /// Resolve a path following symlinks (depth-capped like the kernel).
-    pub async fn lookup_follow(&self, sim: &Sim, path: &str) -> Result<Option<DirEntry>, DaosError> {
+    pub async fn lookup_follow(
+        &self,
+        sim: &Sim,
+        path: &str,
+    ) -> Result<Option<DirEntry>, DaosError> {
         let mut cur = path.to_string();
         for _ in 0..8 {
             match self.lookup(sim, &cur).await? {

@@ -15,7 +15,9 @@ async fn fs(sim: &Sim) -> Rc<Dfs> {
     let cluster = Cluster::build(sim, ClusterConfig::tiny(1));
     let client = DaosClient::new(cluster, 0);
     let pool = client.connect(sim).await.unwrap();
-    Dfs::mount(sim, &pool, 1, DfsConfig::default(), 3).await.unwrap()
+    Dfs::mount(sim, &pool, 1, DfsConfig::default(), 3)
+        .await
+        .unwrap()
 }
 
 #[test]
@@ -29,7 +31,9 @@ fn nested_directories_and_readdir() {
         fs.create(&sim, "/a/b/c/deep.dat", ObjectClass::S1, MIB)
             .await
             .unwrap();
-        fs.create(&sim, "/a/top.dat", ObjectClass::S1, MIB).await.unwrap();
+        fs.create(&sim, "/a/top.dat", ObjectClass::S1, MIB)
+            .await
+            .unwrap();
         assert_eq!(fs.readdir(&sim, "/").await.unwrap(), vec!["a"]);
         assert_eq!(fs.readdir(&sim, "/a").await.unwrap(), vec!["b", "top.dat"]);
         assert_eq!(fs.readdir(&sim, "/a/b/c").await.unwrap(), vec!["deep.dat"]);
@@ -53,11 +57,16 @@ fn write_grows_size_truncate_shrinks_it() {
     let mut sim = Sim::new(0xD52);
     sim.block_on(|sim| async move {
         let fs = fs(&sim).await;
-        let f = fs.create(&sim, "/t.dat", ObjectClass::S2, 256 * KIB).await.unwrap();
+        let f = fs
+            .create(&sim, "/t.dat", ObjectClass::S2, 256 * KIB)
+            .await
+            .unwrap();
         f.write(&sim, 0, Payload::pattern(1, MIB)).await.unwrap();
         assert_eq!(fs.stat(&sim, "/t.dat").await.unwrap().size, MIB);
         // sparse write extends
-        f.write(&sim, 3 * MIB, Payload::pattern(2, KIB)).await.unwrap();
+        f.write(&sim, 3 * MIB, Payload::pattern(2, KIB))
+            .await
+            .unwrap();
         assert_eq!(f.size(&sim).await.unwrap(), 3 * MIB + KIB);
         // truncate down
         fs.truncate(&sim, "/t.dat", MIB / 2).await.unwrap();
@@ -77,8 +86,13 @@ fn rename_moves_entries_across_directories() {
         let fs = fs(&sim).await;
         fs.mkdir(&sim, "/src").await.unwrap();
         fs.mkdir(&sim, "/dst").await.unwrap();
-        let f = fs.create(&sim, "/src/x.dat", ObjectClass::S1, MIB).await.unwrap();
-        f.write(&sim, 0, Payload::pattern(7, 64 * KIB)).await.unwrap();
+        let f = fs
+            .create(&sim, "/src/x.dat", ObjectClass::S1, MIB)
+            .await
+            .unwrap();
+        f.write(&sim, 0, Payload::pattern(7, 64 * KIB))
+            .await
+            .unwrap();
         fs.rename(&sim, "/src/x.dat", "/dst/y.dat").await.unwrap();
         assert!(fs.lookup(&sim, "/src/x.dat").await.unwrap().is_none());
         let g = fs.open(&sim, "/dst/y.dat").await.unwrap();
@@ -88,7 +102,10 @@ fn rename_moves_entries_across_directories() {
             g.read_bytes(&sim, 0, 64 * KIB).await.unwrap(),
             Payload::pattern(7, 64 * KIB).materialize().to_vec()
         );
-        assert_eq!(fs.readdir(&sim, "/src").await.unwrap(), Vec::<String>::new());
+        assert_eq!(
+            fs.readdir(&sim, "/src").await.unwrap(),
+            Vec::<String>::new()
+        );
     });
 }
 
@@ -97,7 +114,10 @@ fn unlink_removes_and_frees() {
     let mut sim = Sim::new(0xD54);
     sim.block_on(|sim| async move {
         let fs = fs(&sim).await;
-        let f = fs.create(&sim, "/gone.dat", ObjectClass::SX, MIB).await.unwrap();
+        let f = fs
+            .create(&sim, "/gone.dat", ObjectClass::SX, MIB)
+            .await
+            .unwrap();
         f.write(&sim, 0, Payload::pattern(1, MIB)).await.unwrap();
         fs.unlink(&sim, "/gone.dat").await.unwrap();
         assert!(fs.open(&sim, "/gone.dat").await.is_err());
@@ -106,7 +126,9 @@ fn unlink_removes_and_frees() {
         let got = f.read_bytes(&sim, 0, MIB).await.unwrap();
         assert!(got.iter().all(|&b| b == 0));
         // name is reusable
-        fs.create(&sim, "/gone.dat", ObjectClass::S1, MIB).await.unwrap();
+        fs.create(&sim, "/gone.dat", ObjectClass::S1, MIB)
+            .await
+            .unwrap();
     });
 }
 
@@ -115,7 +137,10 @@ fn symlinks_resolve_and_cap_loops() {
     let mut sim = Sim::new(0xD55);
     sim.block_on(|sim| async move {
         let fs = fs(&sim).await;
-        let f = fs.create(&sim, "/real.dat", ObjectClass::S1, MIB).await.unwrap();
+        let f = fs
+            .create(&sim, "/real.dat", ObjectClass::S1, MIB)
+            .await
+            .unwrap();
         f.write(&sim, 0, Payload::pattern(3, KIB)).await.unwrap();
         fs.symlink(&sim, "/link", "/real.dat").await.unwrap();
         fs.symlink(&sim, "/link2", "/link").await.unwrap();
@@ -143,10 +168,17 @@ fn two_mounts_see_each_others_changes() {
         let c1 = DaosClient::new(Rc::clone(&cluster), 1);
         let p0 = c0.connect(&sim).await.unwrap();
         let p1 = c1.connect(&sim).await.unwrap();
-        let fs0 = Dfs::mount(&sim, &p0, 1, DfsConfig::default(), 10).await.unwrap();
-        let fs1 = Dfs::mount(&sim, &p1, 1, DfsConfig::default(), 11).await.unwrap();
+        let fs0 = Dfs::mount(&sim, &p0, 1, DfsConfig::default(), 10)
+            .await
+            .unwrap();
+        let fs1 = Dfs::mount(&sim, &p1, 1, DfsConfig::default(), 11)
+            .await
+            .unwrap();
         // node 0 writes, node 1 reads — no caches in between
-        let f0 = fs0.create(&sim, "/shared.dat", ObjectClass::S2, MIB).await.unwrap();
+        let f0 = fs0
+            .create(&sim, "/shared.dat", ObjectClass::S2, MIB)
+            .await
+            .unwrap();
         f0.write(&sim, 0, Payload::pattern(42, MIB)).await.unwrap();
         let f1 = fs1.open(&sim, "/shared.dat").await.unwrap();
         assert_eq!(

@@ -23,8 +23,8 @@
 use std::cell::Cell;
 use std::rc::Rc;
 
-use daos_dfs::{Dfs, DfsFile, Stat};
 use daos_core::DaosError;
+use daos_dfs::{Dfs, DfsFile, Stat};
 use daos_placement::ObjectClass;
 use daos_sim::time::SimDuration;
 use daos_sim::{Semaphore, Sim};
@@ -230,13 +230,23 @@ impl DfuseMount {
     }
 
     /// POSIX `symlink(2)`.
-    pub async fn symlink(self: &Rc<Self>, sim: &Sim, path: &str, target: &str) -> Result<(), DaosError> {
+    pub async fn symlink(
+        self: &Rc<Self>,
+        sim: &Sim,
+        path: &str,
+        target: &str,
+    ) -> Result<(), DaosError> {
         let _t = self.meta_req(sim).await;
         self.dfs.symlink(sim, path, target).await
     }
 
     /// POSIX `truncate(2)`.
-    pub async fn truncate(self: &Rc<Self>, sim: &Sim, path: &str, size: u64) -> Result<(), DaosError> {
+    pub async fn truncate(
+        self: &Rc<Self>,
+        sim: &Sim,
+        path: &str,
+        size: u64,
+    ) -> Result<(), DaosError> {
         let _t = self.meta_req(sim).await;
         self.dfs.truncate(sim, path, size).await
     }
@@ -290,7 +300,12 @@ impl PosixFile {
     }
 
     /// Materialising read (test helper).
-    pub async fn pread_bytes(&self, sim: &Sim, offset: u64, len: u64) -> Result<Vec<u8>, DaosError> {
+    pub async fn pread_bytes(
+        &self,
+        sim: &Sim,
+        offset: u64,
+        len: u64,
+    ) -> Result<Vec<u8>, DaosError> {
         let segs = self.pread(sim, offset, len).await?;
         let mut out = vec![0u8; len as usize];
         for s in segs {

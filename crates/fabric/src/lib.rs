@@ -14,8 +14,20 @@
 //!
 //! [`Endpoint`] adds an addressable RPC surface on top: register a handler
 //! mailbox per node, `call` from anywhere, get a reply future.
+//!
+//! ## Fault injection
+//!
+//! The fabric carries mutable fault state — down nodes, pairwise
+//! partitions, a uniform message-loss rate and a latency spike — driven by
+//! a harness (see `daos_sim::fault`). [`Endpoint::call_deadline`] observes
+//! it: an undeliverable request or a lost reply surfaces as
+//! [`CallError::Timeout`] after the caller's deadline, exactly as a real
+//! Mercury/OFI RPC would. The plain [`Endpoint::call`] fast-fails with
+//! `Closed` instead (fire-and-forget callers like the raft wire treat that
+//! as message loss).
 
-use std::cell::RefCell;
+use std::cell::{Cell, RefCell};
+use std::collections::BTreeSet;
 use std::rc::Rc;
 
 use daos_sim::time::{SimDuration, SimTime};
@@ -38,6 +50,14 @@ pub struct FabricConfig {
     pub per_msg_cpu: SimDuration,
     /// Bandwidth of the intra-node loopback path (shared-memory copy).
     pub loopback_bw: Bandwidth,
+    /// Messages at or below this size ride the eager lane: they pay
+    /// injection, serialization and wire latency but do not queue behind
+    /// bulk frames. Packet interleaving and virtual-lane arbitration give
+    /// small control messages bounded delay on a loaded real fabric —
+    /// without this, a heartbeat stuck behind megabytes of bulk data looks
+    /// exactly like a dead engine and the failure detector melts down
+    /// under saturating I/O.
+    pub eager: u64,
 }
 
 impl Default for FabricConfig {
@@ -49,6 +69,7 @@ impl Default for FabricConfig {
             frame: 128 * 1024,
             per_msg_cpu: SimDuration::from_ns(300),
             loopback_bw: Bandwidth::gib_per_sec(20.0),
+            eager: 4096,
         }
     }
 }
@@ -59,10 +80,25 @@ struct NodeNet {
     loopback: SharedPipe,
 }
 
+/// Injected fault state carried by the fabric (all healthy by default).
+struct FaultState {
+    /// Nodes whose NICs are dark: nothing to or from them is delivered.
+    down: RefCell<BTreeSet<NodeId>>,
+    /// Severed pairs, stored normalised as `(min, max)`.
+    partitions: RefCell<BTreeSet<(NodeId, NodeId)>>,
+    /// Uniform message loss, parts per million (0 = lossless).
+    drop_ppm: Cell<u32>,
+    /// xorshift64 state for loss rolls; seeded with the loss rate.
+    drop_rng: Cell<u64>,
+    /// Added one-way latency on every inter-node message.
+    extra_latency: Cell<u64>,
+}
+
 /// The interconnect: a set of NICs plus a non-blocking switch.
 pub struct Fabric {
     cfg: FabricConfig,
     nodes: Vec<NodeNet>,
+    fault: FaultState,
 }
 
 impl Fabric {
@@ -75,7 +111,91 @@ impl Fabric {
                 loopback: Pipe::new(format!("nic{i}.lo"), cfg.loopback_bw, SimDuration::ZERO),
             })
             .collect();
-        Rc::new(Fabric { cfg, nodes })
+        Rc::new(Fabric {
+            cfg,
+            nodes,
+            fault: FaultState {
+                down: RefCell::new(BTreeSet::new()),
+                partitions: RefCell::new(BTreeSet::new()),
+                drop_ppm: Cell::new(0),
+                drop_rng: Cell::new(1),
+                extra_latency: Cell::new(0),
+            },
+        })
+    }
+
+    // ------------------------------------------------------- fault hooks
+
+    /// Take `node`'s NIC dark: nothing to or from it is delivered until
+    /// [`Fabric::set_node_up`].
+    pub fn set_node_down(&self, node: NodeId) {
+        self.fault.down.borrow_mut().insert(node);
+    }
+    /// Restore a dark node's NIC.
+    pub fn set_node_up(&self, node: NodeId) {
+        self.fault.down.borrow_mut().remove(&node);
+    }
+    /// Whether `node`'s NIC is currently dark.
+    pub fn node_is_down(&self, node: NodeId) -> bool {
+        self.fault.down.borrow().contains(&node)
+    }
+    /// Sever connectivity between `a` and `b` (both directions).
+    pub fn partition_between(&self, a: NodeId, b: NodeId) {
+        self.fault
+            .partitions
+            .borrow_mut()
+            .insert((a.min(b), a.max(b)));
+    }
+    /// Remove all partitions and message loss (dark nodes stay dark: they
+    /// model crashed hosts, not links).
+    pub fn heal_all(&self) {
+        self.fault.partitions.borrow_mut().clear();
+        self.fault.drop_ppm.set(0);
+    }
+    /// Drop messages uniformly at `ppm` parts per million, rolled from a
+    /// deterministic stream seeded with `seed`.
+    pub fn set_drop_rate(&self, ppm: u32, seed: u64) {
+        assert!(ppm <= 1_000_000);
+        self.fault.drop_ppm.set(ppm);
+        self.fault.drop_rng.set(seed | 1);
+    }
+    /// Add `extra` one-way latency to every inter-node message.
+    pub fn set_extra_latency(&self, extra: SimDuration) {
+        self.fault.extra_latency.set(extra.as_ns());
+    }
+
+    /// Whether a message from `from` could currently reach `to`: both NICs
+    /// lit and no partition between them. Does not roll message loss.
+    pub fn deliverable(&self, from: NodeId, to: NodeId) -> bool {
+        let down = self.fault.down.borrow();
+        if down.contains(&from) || down.contains(&to) {
+            return false;
+        }
+        self.fault
+            .partitions
+            .borrow()
+            .get(&(from.min(to), from.max(to)))
+            .is_none()
+    }
+
+    /// One message-loss roll against the configured drop rate.
+    fn dropped(&self) -> bool {
+        let ppm = self.fault.drop_ppm.get();
+        if ppm == 0 {
+            return false;
+        }
+        let mut s = self.fault.drop_rng.get();
+        s ^= s << 13;
+        s ^= s >> 7;
+        s ^= s << 17;
+        self.fault.drop_rng.set(s);
+        s % 1_000_000 < ppm as u64
+    }
+
+    /// Combined admission check for one message attempt: connectivity plus
+    /// a loss roll. Mutates the loss stream, so call once per attempt.
+    fn admit(&self, from: NodeId, to: NodeId) -> bool {
+        self.deliverable(from, to) && !self.dropped()
     }
 
     /// Number of nodes on the fabric.
@@ -119,7 +239,7 @@ impl Fabric {
         }
         let tx = &self.nodes[from].tx;
         let rx = &self.nodes[to].rx;
-        let wire = self.cfg.wire_latency.as_ns();
+        let wire = self.cfg.wire_latency.as_ns() + self.fault.extra_latency.get();
         let mut remaining = bytes;
         let mut done = now + cpu + wire; // covers the zero-byte case
         let mut first = true;
@@ -135,6 +255,37 @@ impl Fabric {
         SimTime::from_ns(done)
     }
 
+    /// Deliver a header-only *control* message (RPC without bulk data) on
+    /// the eager lane: it pays injection, serialization and wire latency
+    /// but does not queue behind bulk frames. Packet interleaving and
+    /// virtual-lane arbitration give small control messages bounded delay
+    /// on a loaded real fabric — without this, a heartbeat stuck behind
+    /// megabytes of bulk data looks exactly like a dead engine and the
+    /// failure detector melts down under saturating I/O. Messages above
+    /// [`FabricConfig::eager`] fall back to the bulk path.
+    pub async fn message_control(
+        &self,
+        sim: &Sim,
+        from: NodeId,
+        to: NodeId,
+        bytes: u64,
+    ) -> SimTime {
+        if bytes > self.cfg.eager {
+            return self.message(sim, from, to, bytes).await;
+        }
+        let now = sim.now().as_ns();
+        let cpu = self.cfg.per_msg_cpu.as_ns();
+        let done = if from == to {
+            now + cpu + self.cfg.loopback_bw.ns_for(bytes) + 200
+        } else {
+            let wire = self.cfg.wire_latency.as_ns() + self.fault.extra_latency.get();
+            now + cpu + self.cfg.link_bw.ns_for(bytes) + wire
+        };
+        let done = SimTime::from_ns(done);
+        sim.sleep_until(done).await;
+        done
+    }
+
     /// Total bytes ejected at `node` (received).
     pub fn rx_bytes(&self, node: NodeId) -> u64 {
         self.nodes[node].rx.bytes_total()
@@ -146,6 +297,34 @@ impl Fabric {
 }
 
 // ----------------------------------------------------------------- RPC
+
+/// Why an RPC issued with [`Endpoint::call_deadline`] failed.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum CallError {
+    /// No response within the caller's deadline: the request or reply was
+    /// undeliverable (dark NIC, partition, loss) or the server stalled.
+    Timeout,
+    /// The endpoint dropped the request without replying (server teardown
+    /// or a crash racing the in-flight RPC) — a connection reset.
+    Closed,
+}
+
+impl std::fmt::Display for CallError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CallError::Timeout => write!(f, "rpc deadline exceeded"),
+            CallError::Closed => write!(f, "rpc endpoint closed"),
+        }
+    }
+}
+
+impl std::error::Error for CallError {}
+
+impl From<daos_sim::sync::Closed> for CallError {
+    fn from(_: daos_sim::sync::Closed) -> Self {
+        CallError::Closed
+    }
+}
 
 /// An in-flight RPC delivered to a handler, with a reply slot.
 pub struct Incoming<Req, Rsp> {
@@ -178,6 +357,9 @@ pub struct Endpoint<Req, Rsp> {
     /// Fixed request header size on the wire.
     header: u64,
     calls: RefCell<u64>,
+    /// False while the owning service is crashed: requests are not
+    /// admitted, distinct from `close()` which tears the inbox down.
+    online: Cell<bool>,
 }
 
 impl<Req: 'static, Rsp: 'static> Endpoint<Req, Rsp> {
@@ -189,12 +371,23 @@ impl<Req: 'static, Rsp: 'static> Endpoint<Req, Rsp> {
             inbox: daos_sim::Mailbox::new(),
             header: 256,
             calls: RefCell::new(0),
+            online: Cell::new(true),
         })
     }
 
     /// The node this endpoint is bound to.
     pub fn node(&self) -> NodeId {
         self.node
+    }
+
+    /// Mark the endpoint (un)reachable — a crashed or restarted service.
+    pub fn set_online(&self, online: bool) {
+        self.online.set(online);
+    }
+
+    /// Whether the endpoint currently admits requests.
+    pub fn is_online(&self) -> bool {
+        self.online.get()
     }
 
     /// Number of calls served so far.
@@ -218,6 +411,19 @@ impl<Req: 'static, Rsp: 'static> Endpoint<Req, Rsp> {
         self.inbox.close();
     }
 
+    /// One wire leg of an RPC: header-only messages (no bulk attached)
+    /// ride the fabric's eager control lane; anything carrying data takes
+    /// the bulk path and contends with other flows.
+    async fn wire(&self, sim: &Sim, from: NodeId, to: NodeId, bulk: u64) {
+        if bulk == 0 {
+            self.fabric
+                .message_control(sim, from, to, self.header)
+                .await;
+        } else {
+            self.fabric.message(sim, from, to, self.header + bulk).await;
+        }
+    }
+
     /// Issue an RPC from `from_node` to this endpoint.
     ///
     /// `bulk_in` bytes ride the request (write payloads); the response
@@ -230,9 +436,11 @@ impl<Req: 'static, Rsp: 'static> Endpoint<Req, Rsp> {
         bulk_in: u64,
     ) -> Result<Rsp, daos_sim::sync::Closed> {
         *self.calls.borrow_mut() += 1;
-        self.fabric
-            .message(sim, from_node, self.node, self.header + bulk_in)
-            .await;
+        if !self.fabric.admit(from_node, self.node) || !self.online.get() {
+            // fast-fail for fire-and-forget callers: the message is gone
+            return Err(daos_sim::sync::Closed);
+        }
+        self.wire(sim, from_node, self.node, bulk_in).await;
         let (tx, rx) = daos_sim::oneshot();
         self.inbox.send(Incoming {
             from: from_node,
@@ -241,10 +449,52 @@ impl<Req: 'static, Rsp: 'static> Endpoint<Req, Rsp> {
             reply: tx,
         });
         let (rsp, bulk_out) = rx.await?;
-        self.fabric
-            .message(sim, self.node, from_node, self.header + bulk_out)
-            .await;
+        if !self.fabric.admit(self.node, from_node) {
+            return Err(daos_sim::sync::Closed);
+        }
+        self.wire(sim, self.node, from_node, bulk_out).await;
         Ok(rsp)
+    }
+
+    /// Issue an RPC with a deadline: like [`Endpoint::call`], but injected
+    /// faults surface as [`CallError::Timeout`] after `deadline` elapses
+    /// instead of failing fast — the behaviour a resilient client retries
+    /// against. A reply lost on the return path also burns the full
+    /// deadline, like a real RPC whose ack vanished.
+    pub async fn call_deadline(
+        &self,
+        sim: &Sim,
+        from_node: NodeId,
+        req: Req,
+        bulk_in: u64,
+        deadline: SimDuration,
+    ) -> Result<Rsp, CallError> {
+        *self.calls.borrow_mut() += 1;
+        if !self.fabric.admit(from_node, self.node) || !self.online.get() {
+            sim.sleep(deadline).await;
+            return Err(CallError::Timeout);
+        }
+        let attempt = async {
+            self.wire(sim, from_node, self.node, bulk_in).await;
+            let (tx, rx) = daos_sim::oneshot();
+            self.inbox.send(Incoming {
+                from: from_node,
+                req,
+                bulk_in,
+                reply: tx,
+            });
+            let (rsp, bulk_out) = rx.await?;
+            if !self.fabric.admit(self.node, from_node) {
+                // reply lost in flight: stall until the deadline fires
+                std::future::pending::<()>().await;
+            }
+            self.wire(sim, self.node, from_node, bulk_out).await;
+            Ok::<Rsp, CallError>(rsp)
+        };
+        match daos_sim::timeout(sim, deadline, attempt).await {
+            Some(done) => done,
+            None => Err(CallError::Timeout),
+        }
     }
 }
 
@@ -300,7 +550,10 @@ mod tests {
         // 128 MiB through one rx at ~11.6 GiB/s: senders see ~half line rate each
         let agg = gib_per_sec(128 * MIB, secs);
         let line = FabricConfig::default().link_bw.as_gib_per_sec();
-        assert!(agg > 0.9 * line && agg <= line * 1.01, "agg {agg}, line {line}");
+        assert!(
+            agg > 0.9 * line && agg <= line * 1.01,
+            "agg {agg}, line {line}"
+        );
     }
 
     #[test]
@@ -385,6 +638,126 @@ mod tests {
             r
         });
         assert_eq!(got, 42);
+    }
+
+    #[test]
+    fn partition_times_out_deadline_calls_and_heals() {
+        let mut sim = Sim::new(1);
+        let (before, healed, elapsed_us) = sim.block_on(|sim| async move {
+            let f = fab(2);
+            let ep: Rc<Endpoint<u32, u32>> = Endpoint::bind(Rc::clone(&f), 1);
+            let server = {
+                let ep = Rc::clone(&ep);
+                sim.spawn(async move {
+                    while let Some(inc) = ep.serve().await {
+                        let v = inc.req + 1;
+                        inc.respond(v, 0);
+                    }
+                })
+            };
+            f.partition_between(0, 1);
+            let t0 = sim.now();
+            let before = ep
+                .call_deadline(&sim, 0, 7, 0, SimDuration::from_us(50))
+                .await;
+            let waited = (sim.now() - t0).as_ns() / 1_000;
+            f.heal_all();
+            let healed = ep
+                .call_deadline(&sim, 0, 7, 0, SimDuration::from_us(50))
+                .await;
+            ep.close();
+            server.await;
+            (before, healed, waited)
+        });
+        assert_eq!(before, Err(CallError::Timeout));
+        assert_eq!(elapsed_us, 50, "timeout must burn the full deadline");
+        assert_eq!(healed, Ok(8));
+    }
+
+    #[test]
+    fn dark_node_rejects_and_restores() {
+        let mut sim = Sim::new(1);
+        let (dark, lit) = sim.block_on(|sim| async move {
+            let f = fab(2);
+            let ep: Rc<Endpoint<u32, u32>> = Endpoint::bind(Rc::clone(&f), 1);
+            let server = {
+                let ep = Rc::clone(&ep);
+                sim.spawn(async move {
+                    while let Some(inc) = ep.serve().await {
+                        let v = inc.req;
+                        inc.respond(v, 0);
+                    }
+                })
+            };
+            f.set_node_down(1);
+            assert!(!f.deliverable(0, 1));
+            let dark = ep.call(&sim, 0, 9, 0).await;
+            f.set_node_up(1);
+            assert!(f.deliverable(0, 1));
+            let lit = ep.call(&sim, 0, 9, 0).await;
+            ep.close();
+            server.await;
+            (dark, lit)
+        });
+        assert!(dark.is_err(), "call into a dark node must fast-fail");
+        assert_eq!(lit, Ok(9));
+    }
+
+    #[test]
+    fn full_loss_rate_times_out_and_offline_endpoint_rejects() {
+        let mut sim = Sim::new(1);
+        sim.block_on(|sim| async move {
+            let f = fab(2);
+            let ep: Rc<Endpoint<u32, u32>> = Endpoint::bind(Rc::clone(&f), 1);
+            let server = {
+                let ep = Rc::clone(&ep);
+                sim.spawn(async move {
+                    while let Some(inc) = ep.serve().await {
+                        let v = inc.req;
+                        inc.respond(v, 0);
+                    }
+                })
+            };
+            f.set_drop_rate(1_000_000, 0xD20);
+            let lossy = ep
+                .call_deadline(&sim, 0, 1, 0, SimDuration::from_us(20))
+                .await;
+            assert_eq!(lossy, Err(CallError::Timeout));
+            f.heal_all();
+            ep.set_online(false);
+            let offline = ep
+                .call_deadline(&sim, 0, 1, 0, SimDuration::from_us(20))
+                .await;
+            assert_eq!(offline, Err(CallError::Timeout));
+            ep.set_online(true);
+            let back = ep
+                .call_deadline(&sim, 0, 1, 0, SimDuration::from_us(200))
+                .await;
+            assert_eq!(back, Ok(1));
+            ep.close();
+            server.await;
+        });
+    }
+
+    #[test]
+    fn latency_spike_slows_messages() {
+        let mut sim = Sim::new(1);
+        let (base, spiked) = sim.block_on(|sim| async move {
+            let f = fab(2);
+            let t0 = sim.now();
+            f.message(&sim, 0, 1, 0).await;
+            let base = (sim.now() - t0).as_ns();
+            f.set_extra_latency(SimDuration::from_us(500));
+            let t1 = sim.now();
+            f.message(&sim, 0, 1, 0).await;
+            let spiked = (sim.now() - t1).as_ns();
+            f.set_extra_latency(SimDuration::ZERO);
+            (base, spiked)
+        });
+        assert!(
+            spiked >= base + 500_000,
+            "spike not applied: {base} vs {spiked}"
+        );
     }
 
     #[test]

@@ -248,7 +248,9 @@ impl H5File {
             header_dirty: false,
             dirty_index_nodes: 0,
         }));
-        self.datasets.borrow_mut().insert(name.to_string(), Rc::clone(&info));
+        self.datasets
+            .borrow_mut()
+            .insert(name.to_string(), Rc::clone(&info));
         self.sb_dirty.set(true);
         Ok(Dataset {
             file: Rc::clone(self),
@@ -257,7 +259,11 @@ impl H5File {
     }
 
     /// `H5Dopen`: read the object header.
-    pub async fn open_dataset(self: &Rc<Self>, sim: &Sim, name: &str) -> Result<Dataset, DaosError> {
+    pub async fn open_dataset(
+        self: &Rc<Self>,
+        sim: &Sim,
+        name: &str,
+    ) -> Result<Dataset, DaosError> {
         sim.sleep(self.cfg.h5_op_cpu).await;
         let info = self
             .datasets
@@ -265,9 +271,8 @@ impl H5File {
             .get(name)
             .cloned()
             .ok_or_else(|| DaosError::Other(format!("no dataset {name}")))?;
-        self.vfd
-            .read_meta(sim, info.borrow().header_off, OBJ_HEADER)
-            .await?;
+        let header_off = info.borrow().header_off;
+        self.vfd.read_meta(sim, header_off, OBJ_HEADER).await?;
         Ok(Dataset {
             file: Rc::clone(self),
             info,
@@ -284,22 +289,26 @@ impl H5File {
     pub async fn flush(&self, sim: &Sim) -> Result<(), DaosError> {
         sim.sleep(self.cfg.h5_op_cpu).await;
         if self.vfd.is_mpio_rank0() {
-            for info in self.datasets.borrow().values() {
-                let mut i = info.borrow_mut();
-                if i.header_dirty {
+            let infos: Vec<_> = self.datasets.borrow().values().cloned().collect();
+            for info in infos {
+                let (header_off, header_dirty) = {
+                    let i = info.borrow();
+                    (i.header_off, i.header_dirty)
+                };
+                if header_dirty {
                     self.vfd
-                        .write_meta(sim, i.header_off, Payload::pattern(0x0E, OBJ_HEADER))
+                        .write_meta(sim, header_off, Payload::pattern(0x0E, OBJ_HEADER))
                         .await?;
                     self.meta_writes.set(self.meta_writes.get() + 1);
-                    i.header_dirty = false;
+                    info.borrow_mut().header_dirty = false;
                 }
-                while i.dirty_index_nodes > 0 {
+                while info.borrow().dirty_index_nodes > 0 {
                     let off = self.eoa.get(); // index nodes live at eoa-ish
                     self.vfd
                         .write_meta(sim, off, Payload::pattern(0xB7, BTREE_NODE))
                         .await?;
                     self.meta_writes.set(self.meta_writes.get() + 1);
-                    i.dirty_index_nodes -= 1;
+                    info.borrow_mut().dirty_index_nodes -= 1;
                 }
             }
             if self.sb_dirty.get() {
@@ -405,7 +414,7 @@ impl Dataset {
                         Some(fo) => {
                             // chunk-index lookup costs a small meta read per
                             // btree_fanout chunks (node caching)
-                            if ci % self.file.cfg.btree_fanout == 0 {
+                            if ci.is_multiple_of(self.file.cfg.btree_fanout) {
                                 self.file.vfd.read_meta(sim, fo, BTREE_NODE).await?;
                             }
                             let segs = self.file.vfd.read(sim, fo + in_chunk, take).await?;

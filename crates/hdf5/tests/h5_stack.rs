@@ -17,7 +17,9 @@ async fn mount(sim: &Sim) -> Rc<DfuseMount> {
     let cluster = Cluster::build(sim, ClusterConfig::tiny(1));
     let client = DaosClient::new(cluster, 0);
     let pool = client.connect(sim).await.unwrap();
-    let dfs = Dfs::mount(sim, &pool, 1, DfsConfig::default(), 9).await.unwrap();
+    let dfs = Dfs::mount(sim, &pool, 1, DfsConfig::default(), 9)
+        .await
+        .unwrap();
     DfuseMount::new(dfs, DfuseConfig::default())
 }
 

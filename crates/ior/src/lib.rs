@@ -127,7 +127,7 @@ impl IorParams {
     /// Transfers per rank per segment.
     pub fn transfers_per_block(&self) -> u64 {
         assert!(
-            self.block_size % self.transfer_size == 0,
+            self.block_size.is_multiple_of(self.transfer_size),
             "block size must be a multiple of transfer size"
         );
         self.block_size / self.transfer_size

@@ -42,11 +42,7 @@ async fn pfs_rank_phase(
 
 /// Run one IOR configuration on the PFS baseline (`params.api` ignored —
 /// PFS is reached through POSIX).
-pub async fn run_pfs(
-    sim: &Sim,
-    fs: &Rc<Pfs>,
-    params: IorParams,
-) -> Result<IorReport, String> {
+pub async fn run_pfs(sim: &Sim, fs: &Rc<Pfs>, params: IorParams) -> Result<IorReport, String> {
     let client_nodes = fs.config().client_nodes;
     let ranks = client_nodes * params.ppn;
 
@@ -58,9 +54,7 @@ pub async fn run_pfs(
         } else {
             "/ior.shared".to_string()
         };
-        let f = fs
-            .open(sim, r / params.ppn, r as u64, &path, true)
-            .await?;
+        let f = fs.open(sim, r / params.ppn, r as u64, &path, true).await?;
         files.push(f);
     }
 
@@ -73,7 +67,9 @@ pub async fn run_pfs(
         let futs: Vec<_> = files
             .iter()
             .enumerate()
-            .map(|(r, f)| pfs_rank_phase(sim.clone(), f.clone(), params, ranks as u64, r as u64, true))
+            .map(|(r, f)| {
+                pfs_rank_phase(sim.clone(), f.clone(), params, ranks as u64, r as u64, true)
+            })
             .collect();
         for r in join_all(sim, futs).await {
             r?;
@@ -89,7 +85,16 @@ pub async fn run_pfs(
         let futs: Vec<_> = files
             .iter()
             .enumerate()
-            .map(|(r, f)| pfs_rank_phase(sim.clone(), f.clone(), params, ranks as u64, r as u64, false))
+            .map(|(r, f)| {
+                pfs_rank_phase(
+                    sim.clone(),
+                    f.clone(),
+                    params,
+                    ranks as u64,
+                    r as u64,
+                    false,
+                )
+            })
             .collect();
         for r in join_all(sim, futs).await {
             r?;

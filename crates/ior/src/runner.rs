@@ -286,7 +286,11 @@ async fn rank_io_phase(
 }
 
 /// Run one IOR configuration against a DAOS testbed.
-pub async fn run(sim: &Sim, env: &Rc<DaosTestbed>, params: IorParams) -> Result<IorReport, DaosError> {
+pub async fn run(
+    sim: &Sim,
+    env: &Rc<DaosTestbed>,
+    params: IorParams,
+) -> Result<IorReport, DaosError> {
     let client_nodes = env.client_nodes();
     let ranks = client_nodes * params.ppn;
     let world = env.mpi_world(params.ppn);
@@ -310,7 +314,12 @@ pub async fn run(sim: &Sim, env: &Rc<DaosTestbed>, params: IorParams) -> Result<
             }
             Api::Dfs => {
                 env.dfs[0]
-                    .create(sim, &file_path(&params, 0), params.oclass, params.chunk_size)
+                    .create(
+                        sim,
+                        &file_path(&params, 0),
+                        params.oclass,
+                        params.chunk_size,
+                    )
                     .await?;
             }
             Api::DaosArray => {}

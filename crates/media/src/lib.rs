@@ -393,7 +393,10 @@ mod tests {
             sim.now()
         });
         // two waves of ~100us
-        assert!(t >= SimTime::from_us(200) && t < SimTime::from_us(220), "{t}");
+        assert!(
+            t >= SimTime::from_us(200) && t < SimTime::from_us(220),
+            "{t}"
+        );
     }
 
     #[test]

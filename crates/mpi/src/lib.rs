@@ -245,8 +245,7 @@ impl MpiRank {
     pub async fn allgather(&self, sim: &Sim, mine: Vec<u8>) -> Vec<Vec<u8>> {
         let gathered = self.gather(sim, mine).await;
         let packed = if self.rank == 0 {
-            let pairs: Vec<(usize, Vec<u8>)> =
-                gathered.iter().cloned().enumerate().collect();
+            let pairs: Vec<(usize, Vec<u8>)> = gathered.iter().cloned().enumerate().collect();
             Some(Payload::bytes(encode_pairs(&pairs)))
         } else {
             None
@@ -328,9 +327,7 @@ mod tests {
         let mut sim = Sim::new(42);
         sim.block_on(move |sim| async move {
             let w = world(&sim, n);
-            let futs: Vec<_> = (0..n)
-                .map(|r| f(sim.clone(), w.rank(r)))
-                .collect();
+            let futs: Vec<_> = (0..n).map(|r| f(sim.clone(), w.rank(r))).collect();
             join_all(&sim, futs).await
         })
     }
@@ -399,7 +396,8 @@ mod tests {
         });
         assert!(maxes.iter().all(|&m| m == 40));
         let sums = spmd(5, |sim, rank| async move {
-            rank.allreduce_u64(&sim, rank.rank() as u64, ReduceOp::Sum).await
+            rank.allreduce_u64(&sim, rank.rank() as u64, ReduceOp::Sum)
+                .await
         });
         assert!(sums.iter().all(|&s| s == 10));
     }

@@ -195,8 +195,7 @@ impl MpiFile {
     /// CB buffer so aggregator I/O is large and aligned.
     fn domains(&self, lo: u64, hi: u64, n_aggs: usize) -> Vec<(u64, u64)> {
         let total = hi - lo;
-        let per = (total / n_aggs as u64 + self.hints.cb_buffer - 1) / self.hints.cb_buffer
-            * self.hints.cb_buffer;
+        let per = (total / n_aggs as u64).div_ceil(self.hints.cb_buffer) * self.hints.cb_buffer;
         let per = per.max(self.hints.cb_buffer);
         (0..n_aggs)
             .map(|i| {
@@ -335,7 +334,12 @@ impl MpiFile {
     }
 
     /// Collective read of one contiguous region per rank.
-    pub async fn read_at_all(&self, sim: &Sim, off: u64, len: u64) -> Result<Vec<ReadSeg>, DaosError> {
+    pub async fn read_at_all(
+        &self,
+        sim: &Sim,
+        off: u64,
+        len: u64,
+    ) -> Result<Vec<ReadSeg>, DaosError> {
         let mut mine = Vec::with_capacity(16);
         mine.extend_from_slice(&off.to_le_bytes());
         mine.extend_from_slice(&len.to_le_bytes());

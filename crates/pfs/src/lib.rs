@@ -259,6 +259,7 @@ impl Pfs {
     }
 
     /// Acquire an extent lock on `(fid, ost)`; returns after any revokes.
+    #[allow(clippy::too_many_arguments)]
     async fn ldlm_enqueue(
         &self,
         sim: &Sim,
@@ -455,7 +456,9 @@ mod tests {
             let fs = Rc::clone(&fs);
             async move {
                 let f = fs.open(&sim, 0, 1, "/a", true).await.unwrap();
-                f.write(&sim, 0, Payload::pattern(1, 4 * MIB)).await.unwrap();
+                f.write(&sim, 0, Payload::pattern(1, 4 * MIB))
+                    .await
+                    .unwrap();
                 assert_eq!(f.size(), 4 * MIB);
                 let got = f.read(&sim, 0, 4 * MIB).await.unwrap();
                 assert_eq!(got, 4 * MIB);
@@ -482,7 +485,9 @@ mod tests {
                                 .await
                                 .unwrap();
                             for k in 0..8u64 {
-                                f.write(&sim, k * MIB, Payload::pattern(r, MIB)).await.unwrap();
+                                f.write(&sim, k * MIB, Payload::pattern(r, MIB))
+                                    .await
+                                    .unwrap();
                             }
                         }
                     })
@@ -505,7 +510,10 @@ mod tests {
                         let fs = Rc::clone(&fs);
                         let sim = sim.clone();
                         async move {
-                            let f = fs.open(&sim, (r % 4) as u32, r, "/shared", true).await.unwrap();
+                            let f = fs
+                                .open(&sim, (r % 4) as u32, r, "/shared", true)
+                                .await
+                                .unwrap();
                             for k in 0..8u64 {
                                 f.write(&sim, (r * 8 + k) * MIB, Payload::pattern(r, MIB))
                                     .await
@@ -537,7 +545,9 @@ mod tests {
                                 .await
                                 .unwrap();
                             for k in 0..8u64 {
-                                f.write(&sim, k * MIB, Payload::pattern(r, MIB)).await.unwrap();
+                                f.write(&sim, k * MIB, Payload::pattern(r, MIB))
+                                    .await
+                                    .unwrap();
                             }
                         }
                     })
@@ -559,7 +569,9 @@ mod tests {
             let fs = Rc::clone(&fs);
             async move {
                 let w = fs.open(&sim, 0, 99, "/r", true).await.unwrap();
-                w.write(&sim, 0, Payload::pattern(0, 8 * MIB)).await.unwrap();
+                w.write(&sim, 0, Payload::pattern(0, 8 * MIB))
+                    .await
+                    .unwrap();
                 let before = fs.stats().revokes;
                 let futs: Vec<_> = (0..4u64)
                     .map(|r| {
@@ -601,8 +613,7 @@ mod tests {
                     cur += len;
                 }
                 // spread across more than one OST
-                let osts: std::collections::BTreeSet<_> =
-                    pieces.iter().map(|p| p.0).collect();
+                let osts: std::collections::BTreeSet<_> = pieces.iter().map(|p| p.0).collect();
                 assert!(osts.len() > 1);
             }
         });

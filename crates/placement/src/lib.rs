@@ -82,7 +82,11 @@ pub enum ObjectClass {
     Replicated { replicas: u16, groups: Option<u16> },
     /// `EC_{k}P{p}`: k data + p parity cells per stripe; `groups` stripe
     /// groups (`None` = max).
-    ErasureCoded { data: u16, parity: u16, groups: Option<u16> },
+    ErasureCoded {
+        data: u16,
+        parity: u16,
+        groups: Option<u16>,
+    },
 }
 
 impl ObjectClass {
@@ -131,13 +135,21 @@ impl ObjectClass {
         if let Some(rest) = s.strip_prefix("RP_") {
             let (r, g) = rest.split_once('G')?;
             let replicas = r.parse::<u16>().ok()?;
-            let groups = if g == "X" { None } else { Some(g.parse().ok()?) };
+            let groups = if g == "X" {
+                None
+            } else {
+                Some(g.parse().ok()?)
+            };
             return Some(ObjectClass::Replicated { replicas, groups });
         }
         if let Some(rest) = s.strip_prefix("EC_") {
             let (kp, g) = rest.split_once('G')?;
             let (k, p) = kp.split_once('P')?;
-            let groups = if g == "X" { None } else { Some(g.parse().ok()?) };
+            let groups = if g == "X" {
+                None
+            } else {
+                Some(g.parse().ok()?)
+            };
             return Some(ObjectClass::ErasureCoded {
                 data: k.parse().ok()?,
                 parity: p.parse().ok()?,
@@ -156,7 +168,11 @@ impl ObjectClass {
                 Some(g) => format!("RP_{replicas}G{g}"),
                 None => format!("RP_{replicas}GX"),
             },
-            ObjectClass::ErasureCoded { data, parity, groups } => match groups {
+            ObjectClass::ErasureCoded {
+                data,
+                parity,
+                groups,
+            } => match groups {
                 Some(g) => format!("EC_{data}P{parity}G{g}"),
                 None => format!("EC_{data}P{parity}GX"),
             },
@@ -177,8 +193,7 @@ impl ObjectClass {
         let groups = match self {
             ObjectClass::Sharded(n) => (*n as u32).min(targets),
             ObjectClass::ShardedMax => targets,
-            ObjectClass::Replicated { groups, .. }
-            | ObjectClass::ErasureCoded { groups, .. } => {
+            ObjectClass::Replicated { groups, .. } | ObjectClass::ErasureCoded { groups, .. } => {
                 let w = self.group_width();
                 match groups {
                     Some(g) => (*g as u32).min((targets / w.max(1)).max(1)),
@@ -292,6 +307,32 @@ impl PoolMap {
             .filter(|t| !self.excluded.contains(t))
             .collect()
     }
+
+    /// Currently excluded target ids in order.
+    pub fn excluded_targets(&self) -> Vec<TargetId> {
+        self.excluded.iter().copied().collect()
+    }
+
+    /// Number of active targets on `engine`.
+    pub fn active_targets_on_engine(&self, engine: u32) -> u32 {
+        let base = engine * self.targets_per_engine;
+        (base..base + self.targets_per_engine)
+            .filter(|t| !self.excluded.contains(t))
+            .count() as u32
+    }
+
+    /// Adopt an authoritative `(version, excluded)` snapshot from the pool
+    /// service. Applied only if `version` is newer than the local one (so a
+    /// refresh never rolls back local administrative exclusions); returns
+    /// whether the map changed.
+    pub fn sync(&mut self, version: u32, excluded: &[TargetId]) -> bool {
+        if version <= self.version {
+            return false;
+        }
+        self.excluded = excluded.iter().copied().collect();
+        self.version = version;
+        true
+    }
 }
 
 // ---------------------------------------------------------------- Layout
@@ -322,16 +363,45 @@ impl Layout {
     }
 }
 
+/// The shard count [`place`] will produce for `class` on `map`.
+///
+/// Sharded classes scale with the *active* target count; protected classes
+/// (`RP_n`, `EC_k+p`) compute their group count from the *total* target
+/// count, so their width — and the data addressed by each `(group, replica)`
+/// slot — stays stable across exclusions and reintegrations. Without that
+/// stability an exclusion would silently regroup every stripe.
+pub fn place_width(class: ObjectClass, map: &PoolMap) -> u32 {
+    match class {
+        ObjectClass::Sharded(_) | ObjectClass::ShardedMax => {
+            class.shard_count(map.active_target_count())
+        }
+        ObjectClass::Replicated { .. } | ObjectClass::ErasureCoded { .. } => {
+            class.shard_count(map.target_count())
+        }
+    }
+}
+
 /// Compute the deterministic layout of `oid` with `class` on `map`.
 ///
-/// Shards are drawn without replacement from the active targets using a
-/// Fisher–Yates prefix seeded by the object id — deterministic, uniformly
-/// balanced *in expectation*, with per-object variance exactly like a real
-/// hash-placed store. When the class needs more shards than there are
-/// targets, placement wraps (shards co-reside).
+/// Sharded classes draw without replacement from the active targets using a
+/// rejection-sampled prefix seeded by the object id — deterministic,
+/// uniformly balanced *in expectation*, with per-object variance exactly
+/// like a real hash-placed store. When the class needs more shards than
+/// there are targets, placement wraps (shards co-reside).
+///
+/// Protected classes (`RP_n`, `EC_k+p`) are placed *fault-domain-aware*:
+/// each group's cells land on distinct engines whenever enough engines have
+/// active targets, so a single engine crash never takes out a whole
+/// replica group — the invariant degraded reads and rebuild depend on.
 pub fn place(oid: ObjectId, class: ObjectClass, map: &PoolMap) -> Layout {
     let n_active = map.active_target_count();
     assert!(n_active > 0, "no active targets");
+    if matches!(
+        class,
+        ObjectClass::Replicated { .. } | ObjectClass::ErasureCoded { .. }
+    ) {
+        return place_protected(oid, class, map);
+    }
     let want = class.shard_count(n_active);
     let total = map.target_count() as u64;
 
@@ -382,6 +452,128 @@ pub fn place(oid: ObjectId, class: ObjectClass, map: &PoolMap) -> Layout {
     Layout { class, shards }
 }
 
+/// Fault-domain-aware placement for `RP_n` / `EC_k+p`: per group, cells on
+/// distinct engines (reusing engines only when fewer live engines than
+/// cells exist) and distinct targets within the group.
+///
+/// Two passes, CRUSH-style. Pass 1 places every cell against the *healthy*
+/// geometry — exclusions ignored — from its own `(oid, group, cell)`-seeded
+/// stream, so the healthy layout never depends on the current map. Pass 2
+/// re-draws only the cells whose pass-1 target is excluded. A cell on a
+/// live target therefore never moves — the minimal-churn property that
+/// bounds rebuild volume and guarantees every degraded group keeps its
+/// surviving cells as rebuild donors.
+fn place_protected(oid: ObjectId, class: ObjectClass, map: &PoolMap) -> Layout {
+    let width = class.group_width();
+    let groups = place_width(class, map) / width;
+    let tpe = map.targets_per_engine();
+    let engine_total = map.engine_count();
+    // engines that can still host a cell
+    let live: Vec<u32> = (0..engine_total)
+        .filter(|&e| map.active_targets_on_engine(e) > 0)
+        .collect();
+    assert!(!live.is_empty(), "no active targets");
+
+    let stream = |g: u32, c: u32, salt: u64| {
+        let mut state = splitmix64(
+            oid.mix()
+                ^ salt
+                ^ (g as u64 + 1).wrapping_mul(0x9E37_79B9_7F4A_7C15)
+                ^ (c as u64 + 1).wrapping_mul(0xC2B2_AE3D_27D4_EB4F),
+        ) | 1;
+        move || {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            state
+        }
+    };
+
+    let mut shards: Vec<TargetId> = Vec::with_capacity((groups * width) as usize);
+    for g in 0..groups {
+        // ---- pass 1: healthy placement, blind to exclusions
+        let mut group_engines: Vec<u32> = Vec::with_capacity(width as usize);
+        let mut group_targets: Vec<TargetId> = Vec::with_capacity(width as usize);
+        for c in 0..width {
+            let mut next = stream(g, c, 0);
+            // Rejection-sample an engine over stable engine ids, skipping
+            // engines already holding a cell of this group (repeats allowed
+            // only once every engine is in the group).
+            let fresh_left = (0..engine_total).any(|e| !group_engines.contains(&e));
+            let mut attempts = 0u32;
+            let engine = loop {
+                attempts += 1;
+                if attempts > 64 * width.max(4) {
+                    // pathological pattern: first acceptable engine in order
+                    break (0..engine_total)
+                        .find(|e| !fresh_left || !group_engines.contains(e))
+                        .unwrap_or((next() % engine_total as u64) as u32);
+                }
+                let cand = (next() % engine_total as u64) as u32;
+                if fresh_left && group_engines.contains(&cand) {
+                    continue;
+                }
+                break cand;
+            };
+            group_engines.push(engine);
+
+            // One draw for the in-engine slot, then a deterministic scan:
+            // first target from the drawn offset not already in the group,
+            // falling back to reuse when all are taken.
+            let base = next() % tpe as u64;
+            let slot = |off: u64| engine * tpe + ((base + off) % tpe as u64) as u32;
+            let pick = (0..tpe as u64)
+                .map(slot)
+                .find(|t| !group_targets.contains(t))
+                .unwrap_or_else(|| slot(0));
+            group_targets.push(pick);
+        }
+
+        // ---- pass 2: re-draw only the cells that landed on excluded
+        // targets, around the cells that stay put
+        for c in 0..width {
+            if !map.is_excluded(group_targets[c as usize]) {
+                continue;
+            }
+            let mut next = stream(g, c, 0x7EBA_11D5_0C0F_FEE5);
+            let used = |e: u32, gt: &[TargetId]| {
+                gt.iter()
+                    .enumerate()
+                    .any(|(i, &t)| i != c as usize && !map.is_excluded(t) && t / tpe == e)
+            };
+            let fresh_left = live.iter().any(|&e| !used(e, &group_targets));
+            let mut attempts = 0u32;
+            let engine = loop {
+                attempts += 1;
+                if attempts > 64 * width.max(4) {
+                    break live
+                        .iter()
+                        .copied()
+                        .find(|&e| !fresh_left || !used(e, &group_targets))
+                        .unwrap_or(live[(next() % live.len() as u64) as usize]);
+                }
+                let cand = (next() % engine_total as u64) as u32;
+                if map.active_targets_on_engine(cand) == 0
+                    || (fresh_left && used(cand, &group_targets))
+                {
+                    continue;
+                }
+                break cand;
+            };
+            let base = next() % tpe as u64;
+            let slot = |off: u64| engine * tpe + ((base + off) % tpe as u64) as u32;
+            let pick = (0..tpe as u64)
+                .map(slot)
+                .find(|t| !map.is_excluded(*t) && !group_targets.contains(t))
+                .or_else(|| (0..tpe as u64).map(slot).find(|t| !map.is_excluded(*t)))
+                .expect("live engine must have an active target");
+            group_targets[c as usize] = pick;
+        }
+        shards.extend_from_slice(&group_targets);
+    }
+    Layout { class, shards }
+}
+
 /// Per-target shard-count statistics over a set of layouts: returns
 /// `(mean, stddev, max)` of the per-target load (for balance assertions and
 /// the oclass ablation bench).
@@ -416,7 +608,9 @@ mod tests {
 
     #[test]
     fn class_parsing_round_trips() {
-        for name in ["S1", "S2", "S4", "S8", "SX", "RP_2GX", "RP_3G1", "EC_2P1GX", "EC_4P2G4"] {
+        for name in [
+            "S1", "S2", "S4", "S8", "SX", "RP_2GX", "RP_3G1", "EC_2P1GX", "EC_4P2G4",
+        ] {
             let c = ObjectClass::parse(name).unwrap();
             assert_eq!(c.name(), name);
         }
@@ -432,7 +626,7 @@ mod tests {
         assert_eq!(ObjectClass::RP_3G1.shard_count(t), 3);
         assert_eq!(ObjectClass::RP_2GX.shard_count(t), 128);
         assert_eq!(ObjectClass::EC_2P1GX.shard_count(t), 126); // 42 groups * 3
-        // small pool clamps
+                                                               // small pool clamps
         assert_eq!(ObjectClass::Sharded(8).shard_count(4), 4);
     }
 
@@ -497,9 +691,15 @@ mod tests {
     fn exclusion_remaps_only_affected_shards_mostly() {
         let mut map = map16x8();
         let oids: Vec<ObjectId> = (0..200).map(|i| ObjectId::new(i, i + 1)).collect();
-        let before: Vec<Layout> = oids.iter().map(|&o| place(o, ObjectClass::S1, &map)).collect();
+        let before: Vec<Layout> = oids
+            .iter()
+            .map(|&o| place(o, ObjectClass::S1, &map))
+            .collect();
         map.exclude(5);
-        let after: Vec<Layout> = oids.iter().map(|&o| place(o, ObjectClass::S1, &map)).collect();
+        let after: Vec<Layout> = oids
+            .iter()
+            .map(|&o| place(o, ObjectClass::S1, &map))
+            .collect();
         let mut moved = 0;
         for (b, a) in before.iter().zip(&after) {
             assert_ne!(a.shards[0], 5, "excluded target must not be used");
@@ -530,10 +730,7 @@ mod tests {
         for key in 0..16_000u64 {
             counts[jump_consistent_hash(splitmix64(key), n) as usize] += 1;
         }
-        let (min, max) = (
-            *counts.iter().min().unwrap(),
-            *counts.iter().max().unwrap(),
-        );
+        let (min, max) = (*counts.iter().min().unwrap(), *counts.iter().max().unwrap());
         assert!(min > 800 && max < 1200, "min {min} max {max}");
     }
 
@@ -549,6 +746,115 @@ mod tests {
         m.reintegrate(3);
         assert_eq!(m.version(), 3);
         assert_eq!(m.active_target_count(), 8);
+    }
+
+    #[test]
+    fn protected_groups_span_engines() {
+        // the fault-domain invariant: no replica group confined to one engine
+        let map = PoolMap::new(4, 4);
+        for i in 0..200u64 {
+            let oid = ObjectId::new(i, splitmix64(i));
+            for class in [
+                ObjectClass::RP_2GX,
+                ObjectClass::RP_3G1,
+                ObjectClass::EC_2P1GX,
+            ] {
+                let l = place(oid, class, &map);
+                let w = class.group_width() as usize;
+                for (g, group) in l.shards.chunks(w).enumerate() {
+                    let engines: BTreeSet<_> = group.iter().map(|&t| map.engine_of(t)).collect();
+                    assert_eq!(
+                        engines.len(),
+                        w.min(4),
+                        "{class} group {g} of oid {i} not engine-disjoint: {group:?}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn protected_width_stable_under_exclusion() {
+        let mut map = PoolMap::new(4, 4);
+        let oids: Vec<ObjectId> = (0..100).map(|i| ObjectId::new(i, i * 7 + 1)).collect();
+        let before: Vec<Layout> = oids
+            .iter()
+            .map(|&o| place(o, ObjectClass::RP_2GX, &map))
+            .collect();
+        // crash engine 1: exclude all its targets
+        for t in 4..8 {
+            map.exclude(t);
+        }
+        let mut moved = 0usize;
+        let mut cells = 0usize;
+        for (o, b) in oids.iter().zip(&before) {
+            let a = place(*o, ObjectClass::RP_2GX, &map);
+            assert_eq!(a.width(), b.width(), "group structure must not change");
+            for (i, (&tb, &ta)) in b.shards.iter().zip(&a.shards).enumerate() {
+                cells += 1;
+                assert!(!map.is_excluded(ta), "shard {i} on excluded target {ta}");
+                if tb != ta {
+                    moved += 1;
+                    // relocations land off the dead engine; survivors stay
+                    assert_ne!(map.engine_of(ta), 1);
+                }
+            }
+        }
+        // 1 of 4 engines died: ~1/4 of cells relocate, the rest must not
+        assert!(
+            moved * 2 < cells,
+            "exclusion churned {moved}/{cells} protected cells"
+        );
+        assert!(moved > 0, "dead engine's cells must relocate");
+    }
+
+    #[test]
+    fn rp2_always_leaves_a_survivor_per_group() {
+        let map = PoolMap::new(4, 4);
+        for i in 0..200u64 {
+            let l = place(ObjectId::new(i, i + 3), ObjectClass::RP_2GX, &map);
+            for crashed in 0..4u32 {
+                for group in l.shards.chunks(2) {
+                    assert!(
+                        group.iter().any(|&t| map.engine_of(t) != crashed),
+                        "group {group:?} wiped out by engine {crashed}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn place_width_matches_place() {
+        let mut map = PoolMap::new(3, 5);
+        let classes = [
+            ObjectClass::S1,
+            ObjectClass::S8,
+            ObjectClass::SX,
+            ObjectClass::RP_2GX,
+            ObjectClass::RP_3G1,
+            ObjectClass::EC_2P1GX,
+            ObjectClass::EC_4P2GX,
+        ];
+        for step in 0..3 {
+            for class in classes {
+                let l = place(ObjectId::new(7, step as u64 * 31 + 1), class, &map);
+                assert_eq!(l.width(), place_width(class, &map), "{class} step {step}");
+            }
+            map.exclude(step * 4);
+        }
+    }
+
+    #[test]
+    fn pool_map_sync_is_version_guarded() {
+        let mut m = PoolMap::new(2, 4);
+        m.exclude(1); // local admin exclusion: version 2
+        assert!(!m.sync(2, &[]), "same version must not roll back");
+        assert!(m.is_excluded(1));
+        assert!(m.sync(5, &[3, 4]));
+        assert_eq!(m.version(), 5);
+        assert!(!m.is_excluded(1));
+        assert!(m.is_excluded(3) && m.is_excluded(4));
     }
 
     #[test]

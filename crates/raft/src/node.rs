@@ -3,8 +3,8 @@
 use std::collections::BTreeMap;
 
 use rand::Rng;
-use rand_chacha::ChaCha8Rng;
 use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
 
 use crate::log::{Entry, Log, Snapshot};
 use crate::{Index, NodeId, Term};

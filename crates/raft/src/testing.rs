@@ -135,9 +135,7 @@ impl<C: Clone> Cluster<C> {
             .collect();
         // several leaders can coexist transiently *in different terms*;
         // report the one with the highest term
-        leaders
-            .into_iter()
-            .max_by_key(|id| self.nodes[id].term())
+        leaders.into_iter().max_by_key(|id| self.nodes[id].term())
     }
 
     /// Run until some node is leader (panics after `max` rounds).
@@ -185,10 +183,7 @@ impl<C: Clone> Cluster<C> {
     /// Election safety: at most one leader was ever observed per term.
     pub fn assert_election_safety(&self) {
         for (term, set) in &self.leaders_by_term {
-            assert!(
-                set.len() <= 1,
-                "term {term} had multiple leaders: {set:?}"
-            );
+            assert!(set.len() <= 1, "term {term} had multiple leaders: {set:?}");
         }
     }
 
@@ -199,12 +194,8 @@ impl<C: Clone> Cluster<C> {
     {
         let logs: Vec<&Vec<Entry<C>>> = self.applied.values().collect();
         for w in logs.windows(2) {
-            let n = w[0].len().min(w[1].len());
-            for i in 0..n {
-                assert_eq!(
-                    w[0][i], w[1][i],
-                    "applied logs diverge at position {i}"
-                );
+            for (i, (a, b)) in w[0].iter().zip(w[1].iter()).enumerate() {
+                assert_eq!(a, b, "applied logs diverge at position {i}");
             }
         }
     }

@@ -211,7 +211,9 @@ impl Sim {
             id
         };
         self.inner.live_tasks.set(self.inner.live_tasks.get() + 1);
-        self.inner.spawned_total.set(self.inner.spawned_total.get() + 1);
+        self.inner
+            .spawned_total
+            .set(self.inner.spawned_total.get() + 1);
         self.inner.ready.push(id);
         JoinHandle { state }
     }

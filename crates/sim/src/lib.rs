@@ -24,6 +24,7 @@
 //! ```
 
 pub mod executor;
+pub mod fault;
 pub mod pipe;
 pub mod stats;
 pub mod sync;
@@ -31,6 +32,7 @@ pub mod time;
 pub mod units;
 
 pub use executor::{JoinHandle, Sim};
+pub use fault::{select2, timeout, Either, FaultAction, FaultInjector, FaultPlan};
 pub use pipe::{Pipe, SharedPipe};
 pub use stats::{Histogram, OnlineStats};
 pub use sync::{oneshot, Mailbox, Semaphore, SemaphorePermit};

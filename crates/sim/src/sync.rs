@@ -316,11 +316,7 @@ impl Future for Acquire {
         let inner = Rc::clone(&self.sem.inner);
         let mut ws = inner.waiters.borrow_mut();
         let at_head = ws.front().map(|w| w.ticket) == Some(self.ticket);
-        let eligible = if self.queued {
-            at_head
-        } else {
-            ws.is_empty()
-        };
+        let eligible = if self.queued { at_head } else { ws.is_empty() };
         if eligible && inner.permits.get() >= self.want {
             inner.permits.set(inner.permits.get() - self.want);
             if self.queued {

@@ -19,19 +19,19 @@ impl SimTime {
     pub const ZERO: SimTime = SimTime(0);
 
     #[inline]
-    pub fn from_ns(ns: u64) -> Self {
+    pub const fn from_ns(ns: u64) -> Self {
         SimTime(ns)
     }
     #[inline]
-    pub fn from_us(us: u64) -> Self {
+    pub const fn from_us(us: u64) -> Self {
         SimTime(us * 1_000)
     }
     #[inline]
-    pub fn from_ms(ms: u64) -> Self {
+    pub const fn from_ms(ms: u64) -> Self {
         SimTime(ms * 1_000_000)
     }
     #[inline]
-    pub fn from_secs(s: u64) -> Self {
+    pub const fn from_secs(s: u64) -> Self {
         SimTime(s * 1_000_000_000)
     }
     #[inline]
@@ -53,19 +53,19 @@ impl SimDuration {
     pub const ZERO: SimDuration = SimDuration(0);
 
     #[inline]
-    pub fn from_ns(ns: u64) -> Self {
+    pub const fn from_ns(ns: u64) -> Self {
         SimDuration(ns)
     }
     #[inline]
-    pub fn from_us(us: u64) -> Self {
+    pub const fn from_us(us: u64) -> Self {
         SimDuration(us * 1_000)
     }
     #[inline]
-    pub fn from_ms(ms: u64) -> Self {
+    pub const fn from_ms(ms: u64) -> Self {
         SimDuration(ms * 1_000_000)
     }
     #[inline]
-    pub fn from_secs(s: u64) -> Self {
+    pub const fn from_secs(s: u64) -> Self {
         SimDuration(s * 1_000_000_000)
     }
     /// Convert a float second count, rounding up to the next nanosecond so a

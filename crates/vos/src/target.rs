@@ -73,10 +73,7 @@ pub struct VosCounters {
 }
 
 enum AkeyStore {
-    Array {
-        tree: ExtentTree,
-        last_end: u64,
-    },
+    Array { tree: ExtentTree, last_end: u64 },
     Single(SingleValue),
 }
 
@@ -166,6 +163,7 @@ impl VosTarget {
     /// Write `data` into an array akey at `offset` with epoch `epoch`.
     ///
     /// Returns the number of index ops charged (for tests/ablation).
+    #[allow(clippy::too_many_arguments)]
     pub async fn update_array(
         &self,
         sim: &Sim,
@@ -237,6 +235,7 @@ impl VosTarget {
     }
 
     /// Read `[offset, offset+len)` from an array akey as of `epoch`.
+    #[allow(clippy::too_many_arguments)]
     pub async fn fetch_array(
         &self,
         sim: &Sim,
@@ -268,21 +267,23 @@ impl VosTarget {
                     }]
                 })
         };
-        let data_bytes: u64 = segs.iter().filter(|s| s.data.is_some()).map(|s| s.len).sum();
+        let data_bytes: u64 = segs
+            .iter()
+            .filter(|s| s.data.is_some())
+            .map(|s| s.len)
+            .sum();
         {
             let mut c = self.counters.borrow_mut();
             c.fetches += 1;
             c.bytes_read += data_bytes;
         }
-        self.media
-            .scm()
-            .read(sim, self.cfg.fetch_index_bytes)
-            .await;
+        self.media.scm().read(sim, self.cfg.fetch_index_bytes).await;
         self.media.read_payload(sim, data_bytes).await;
         segs
     }
 
     /// Upsert a single-value akey.
+    #[allow(clippy::too_many_arguments)]
     pub async fn update_single(
         &self,
         sim: &Sim,
@@ -354,10 +355,7 @@ impl VosTarget {
             c.fetches += 1;
             c.bytes_read += bytes;
         }
-        self.media
-            .scm()
-            .read(sim, self.cfg.fetch_index_bytes)
-            .await;
+        self.media.scm().read(sim, self.cfg.fetch_index_bytes).await;
         if bytes > 0 {
             self.media.read_payload(sim, bytes).await;
         }
@@ -365,6 +363,7 @@ impl VosTarget {
     }
 
     /// Punch (logically zero) a byte range of an array akey at `epoch`.
+    #[allow(clippy::too_many_arguments)]
     pub async fn punch_array(
         &self,
         sim: &Sim,
@@ -453,10 +452,7 @@ impl VosTarget {
                     })
                 })
         };
-        self.media
-            .scm()
-            .read(sim, self.cfg.fetch_index_bytes)
-            .await;
+        self.media.scm().read(sim, self.cfg.fetch_index_bytes).await;
         out
     }
 
@@ -506,8 +502,17 @@ mod tests {
             async move {
                 let e = t.next_epoch();
                 let p = Payload::pattern(1, 4096);
-                t.update_array(&sim, 1, 42, &crate::key("d0"), &crate::key("a"), 0, e, p.clone())
-                    .await;
+                t.update_array(
+                    &sim,
+                    1,
+                    42,
+                    &crate::key("d0"),
+                    &crate::key("a"),
+                    0,
+                    e,
+                    p.clone(),
+                )
+                .await;
                 let segs = t
                     .fetch_array(&sim, 1, 42, &crate::key("d0"), &crate::key("a"), 0, 4096, e)
                     .await;
@@ -567,11 +572,27 @@ mod tests {
             let t = Rc::clone(&t);
             async move {
                 let e1 = t.next_epoch();
-                t.update_single(&sim, 1, 9, &crate::key("d"), &crate::key("attr"), e1, Payload::bytes(vec![1, 2, 3]))
-                    .await;
+                t.update_single(
+                    &sim,
+                    1,
+                    9,
+                    &crate::key("d"),
+                    &crate::key("attr"),
+                    e1,
+                    Payload::bytes(vec![1, 2, 3]),
+                )
+                .await;
                 let e2 = t.next_epoch();
-                t.update_single(&sim, 1, 9, &crate::key("d"), &crate::key("attr"), e2, Payload::bytes(vec![9]))
-                    .await;
+                t.update_single(
+                    &sim,
+                    1,
+                    9,
+                    &crate::key("d"),
+                    &crate::key("attr"),
+                    e2,
+                    Payload::bytes(vec![9]),
+                )
+                .await;
                 let v1 = t
                     .fetch_single(&sim, 1, 9, &crate::key("d"), &crate::key("attr"), e1)
                     .await
@@ -593,7 +614,16 @@ mod tests {
             let t = Rc::clone(&t);
             async move {
                 let segs = t
-                    .fetch_array(&sim, 1, 7, &crate::key("nope"), &crate::key("a"), 0, 128, 10)
+                    .fetch_array(
+                        &sim,
+                        1,
+                        7,
+                        &crate::key("nope"),
+                        &crate::key("a"),
+                        0,
+                        128,
+                        10,
+                    )
                     .await;
                 assert_eq!(segs.len(), 1);
                 assert!(segs[0].data.is_none());
@@ -608,8 +638,17 @@ mod tests {
             let t = Rc::clone(&t);
             async move {
                 let e1 = t.next_epoch();
-                t.update_array(&sim, 1, 5, &crate::key("d"), &crate::key("a"), 0, e1, Payload::pattern(1, 64))
-                    .await;
+                t.update_array(
+                    &sim,
+                    1,
+                    5,
+                    &crate::key("d"),
+                    &crate::key("a"),
+                    0,
+                    e1,
+                    Payload::pattern(1, 64),
+                )
+                .await;
                 let e2 = t.next_epoch();
                 t.punch_object(&sim, 1, 5, e2).await;
                 let e3 = t.next_epoch();
@@ -634,13 +673,24 @@ mod tests {
             async move {
                 for name in ["zeta", "alpha", "mid"] {
                     let e = t.next_epoch();
-                    t.update_single(&sim, 1, 3, &crate::key(name), &crate::key("v"), e, Payload::bytes(vec![0]))
-                        .await;
+                    t.update_single(
+                        &sim,
+                        1,
+                        3,
+                        &crate::key(name),
+                        &crate::key("v"),
+                        e,
+                        Payload::bytes(vec![0]),
+                    )
+                    .await;
                 }
                 t.list_dkeys(&sim, 1, 3, t.current_epoch()).await
             }
         });
-        assert_eq!(keys, vec![crate::key("alpha"), crate::key("mid"), crate::key("zeta")]);
+        assert_eq!(
+            keys,
+            vec![crate::key("alpha"), crate::key("mid"), crate::key("zeta")]
+        );
     }
 
     #[test]
@@ -651,16 +701,40 @@ mod tests {
             async move {
                 for _ in 0..10 {
                     let e = t.next_epoch();
-                    t.update_array(&sim, 1, 8, &crate::key("d"), &crate::key("a"), 0, e, Payload::pattern(e, 1024))
-                        .await;
+                    t.update_array(
+                        &sim,
+                        1,
+                        8,
+                        &crate::key("d"),
+                        &crate::key("a"),
+                        0,
+                        e,
+                        Payload::pattern(e, 1024),
+                    )
+                    .await;
                 }
                 let reclaimed = t.aggregate(1, t.current_epoch());
-                assert!(reclaimed >= 8, "should reclaim shadowed extents: {reclaimed}");
+                assert!(
+                    reclaimed >= 8,
+                    "should reclaim shadowed extents: {reclaimed}"
+                );
                 let segs = t
-                    .fetch_array(&sim, 1, 8, &crate::key("d"), &crate::key("a"), 0, 1024, t.current_epoch())
+                    .fetch_array(
+                        &sim,
+                        1,
+                        8,
+                        &crate::key("d"),
+                        &crate::key("a"),
+                        0,
+                        1024,
+                        t.current_epoch(),
+                    )
                     .await;
                 assert_eq!(
-                    segs.iter().filter(|s| s.data.is_some()).map(|s| s.len).sum::<u64>(),
+                    segs.iter()
+                        .filter(|s| s.data.is_some())
+                        .map(|s| s.len)
+                        .sum::<u64>(),
                     1024
                 );
             }

@@ -140,7 +140,7 @@ impl ExtentTree {
                     out.push(Seg {
                         start: s.start,
                         end: es,
-                        src: s.src.clone(),
+                        src: s.src,
                     });
                 }
                 out.push(Seg {
@@ -186,10 +186,7 @@ impl ExtentTree {
             .into_iter()
             .map(|s| {
                 let data = s.src.and_then(|(i, off)| {
-                    vis[i]
-                        .data
-                        .as_ref()
-                        .map(|p| p.slice(off, s.end - s.start))
+                    vis[i].data.as_ref().map(|p| p.slice(off, s.end - s.start))
                 });
                 ReadSeg {
                     offset: s.start,
@@ -204,7 +201,12 @@ impl ExtentTree {
     /// `<= upto` by the visible overlay at `upto` (epoch-tagged `upto`).
     /// Returns the number of extents reclaimed. This is VOS aggregation.
     pub fn aggregate(&mut self, upto: Epoch) -> usize {
-        let old: Vec<Extent> = self.extents.iter().filter(|e| e.epoch <= upto).cloned().collect();
+        let old: Vec<Extent> = self
+            .extents
+            .iter()
+            .filter(|e| e.epoch <= upto)
+            .cloned()
+            .collect();
         if old.len() <= 1 {
             return 0;
         }
@@ -212,11 +214,7 @@ impl ExtentTree {
         let lo = old.iter().map(|e| e.offset).min().unwrap();
         let hi = old.iter().map(|e| e.end()).max().unwrap();
         let image = self.read(lo, hi - lo, upto);
-        let newer: Vec<Extent> = self
-            .extents
-            .drain(..)
-            .filter(|e| e.epoch > upto)
-            .collect();
+        let newer: Vec<Extent> = self.extents.drain(..).filter(|e| e.epoch > upto).collect();
         let reclaimed = old.len();
         let mut added = 0usize;
         for seg in image {
@@ -300,7 +298,12 @@ mod tests {
     }
 
     /// Naive model: a byte map, for differential testing.
-    fn model_read(writes: &[(u64, Epoch, Vec<u8>)], off: u64, len: u64, epoch: Epoch) -> Vec<Option<u8>> {
+    fn model_read(
+        writes: &[(u64, Epoch, Vec<u8>)],
+        off: u64,
+        len: u64,
+        epoch: Epoch,
+    ) -> Vec<Option<u8>> {
         let mut img: Vec<Option<u8>> = vec![None; (off + len) as usize];
         for (woff, wep, data) in writes {
             if *wep > epoch {
@@ -336,7 +339,10 @@ mod tests {
         t.insert(50, 1, p.clone());
         let segs = t.read(50, 100, 1);
         assert_eq!(segs.len(), 1);
-        assert_eq!(segs[0].data.as_ref().unwrap().materialize(), p.materialize());
+        assert_eq!(
+            segs[0].data.as_ref().unwrap().materialize(),
+            p.materialize()
+        );
         assert_eq!(t.size_at(1), 150);
         assert_eq!(t.size_at(0), 0);
     }
@@ -392,8 +398,8 @@ mod tests {
         t.insert(0, 1, payload(1, 100));
         t.punch(20, 30, 2);
         let img = tree_read_bytes(&t, 0, 100, 2);
-        for i in 20..50 {
-            assert_eq!(img[i], None);
+        for b in &img[20..50] {
+            assert_eq!(*b, None);
         }
         assert_eq!(img[19], Some(payload(1, 100).materialize()[19]));
         t.insert(30, 3, payload(3, 10));
@@ -471,8 +477,14 @@ mod tests {
         sv.update(5, payload(1, 8));
         sv.update(9, payload(2, 8));
         assert!(sv.fetch(4).is_none());
-        assert_eq!(sv.fetch(5).unwrap().materialize(), payload(1, 8).materialize());
-        assert_eq!(sv.fetch(100).unwrap().materialize(), payload(2, 8).materialize());
+        assert_eq!(
+            sv.fetch(5).unwrap().materialize(),
+            payload(1, 8).materialize()
+        );
+        assert_eq!(
+            sv.fetch(100).unwrap().materialize(),
+            payload(2, 8).materialize()
+        );
         sv.punch(12);
         assert!(sv.fetch(12).is_none());
         assert!(sv.fetch(11).is_some());
@@ -485,8 +497,14 @@ mod tests {
             sv.update(e, payload(e, 4));
         }
         sv.aggregate(8);
-        assert_eq!(sv.fetch(8).unwrap().materialize(), payload(8, 4).materialize());
-        assert_eq!(sv.fetch(10).unwrap().materialize(), payload(10, 4).materialize());
+        assert_eq!(
+            sv.fetch(8).unwrap().materialize(),
+            payload(8, 4).materialize()
+        );
+        assert_eq!(
+            sv.fetch(10).unwrap().materialize(),
+            payload(10, 4).materialize()
+        );
         assert!(sv.version_count() <= 3);
     }
 }

@@ -70,7 +70,10 @@ pub struct WorkloadReport {
 impl WorkloadReport {
     /// Aggregate bandwidth over the I/O-active time.
     pub fn io_gib_s(&self) -> f64 {
-        gib_per_sec(self.bytes_written + self.bytes_read, self.io_time.as_secs_f64())
+        gib_per_sec(
+            self.bytes_written + self.bytes_read,
+            self.io_time.as_secs_f64(),
+        )
     }
     /// End-to-end effective bandwidth (includes compute gaps).
     pub fn effective_gib_s(&self) -> f64 {
@@ -103,7 +106,10 @@ impl RankAccess {
         match self {
             RankAccess::Native(cont) => {
                 let oid = ObjectId::new(0xA9D, daos_placement::splitmix64(tag));
-                cont.object(oid, class).array(1 << 20).write(sim, 0, data).await
+                cont.object(oid, class)
+                    .array(1 << 20)
+                    .write(sim, 0, data)
+                    .await
             }
             RankAccess::Dfs(fs) => {
                 let f = fs.create(sim, name, class, 1 << 20).await?;
@@ -138,7 +144,10 @@ impl RankAccess {
         let segs = match self {
             RankAccess::Native(cont) => {
                 let oid = ObjectId::new(0xA9D, daos_placement::splitmix64(tag));
-                cont.object(oid, class).array(1 << 20).read(sim, 0, len).await?
+                cont.object(oid, class)
+                    .array(1 << 20)
+                    .read(sim, 0, len)
+                    .await?
             }
             RankAccess::Dfs(fs) => {
                 let f = fs.open(sim, name).await?;
@@ -149,7 +158,11 @@ impl RankAccess {
                 f.pread(sim, 0, len).await?
             }
         };
-        Ok(segs.iter().filter(|s| s.data.is_some()).map(|s| s.len).sum())
+        Ok(segs
+            .iter()
+            .filter(|s| s.data.is_some())
+            .map(|s| s.len)
+            .sum())
     }
 
     /// Does the named object/file exist (polling primitive)?
@@ -468,7 +481,10 @@ mod tests {
                     let fs = Dfs::mount(sim, &pool, 5, DfsConfig::default(), i as u64)
                         .await
                         .unwrap();
-                    out.push(RankAccess::Posix(DfuseMount::new(fs, DfuseConfig::default())));
+                    out.push(RankAccess::Posix(DfuseMount::new(
+                        fs,
+                        DfuseConfig::default(),
+                    )));
                 }
             }
         }

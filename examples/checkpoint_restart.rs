@@ -45,7 +45,7 @@ fn main() {
         let world = MpiWorld::new(
             Rc::clone(&cluster.fabric),
             (0..ranks)
-                .map(|r| cluster.client_node(r as u32 / PPN) as usize)
+                .map(|r| cluster.client_node(r as u32 / PPN))
                 .collect(),
         );
 
@@ -67,13 +67,9 @@ fn main() {
                         .open(&sim, "/ckpt.0001", OpenFlags::read())
                         .await
                         .expect("open");
-                    let mf = MpiFile::open(
-                        &sim,
-                        world.rank(r),
-                        RankFile::Posix(f),
-                        Hints::default(),
-                    )
-                    .await;
+                    let mf =
+                        MpiFile::open(&sim, world.rank(r), RankFile::Posix(f), Hints::default())
+                            .await;
                     let base = r as u64 * PER_RANK;
                     for k in 0..PER_RANK / MIB {
                         mf.write_at(&sim, base + k * MIB, Payload::pattern(r as u64, MIB))
@@ -106,13 +102,9 @@ fn main() {
                         .open(&sim, "/ckpt.0001", OpenFlags::read())
                         .await
                         .expect("open");
-                    let mf = MpiFile::open(
-                        &sim,
-                        world.rank(r),
-                        RankFile::Posix(f),
-                        Hints::default(),
-                    )
-                    .await;
+                    let mf =
+                        MpiFile::open(&sim, world.rank(r), RankFile::Posix(f), Hints::default())
+                            .await;
                     let base = r as u64 * PER_RANK;
                     // spot-verify the first MiB, stream the rest
                     let segs = mf.read_at(&sim, base, MIB).await.unwrap();

@@ -29,9 +29,13 @@ fn main() {
         // 2. the raw object API: a key-value object
         let cont = pool.create_container(&sim, 7).await.expect("container");
         let kv = cont.object(ObjectId::new(1, 1), ObjectClass::S1).kv();
-        kv.put(&sim, "greeting", Payload::bytes(&b"hello, object store"[..]))
-            .await
-            .unwrap();
+        kv.put(
+            &sim,
+            "greeting",
+            Payload::bytes(&b"hello, object store"[..]),
+        )
+        .await
+        .unwrap();
         let v = kv.get(&sim, "greeting").await.unwrap().unwrap();
         println!(
             "[{}] kv round trip: {:?}",
@@ -40,11 +44,11 @@ fn main() {
         );
 
         // 3. the array API: a striped 8 MiB object
-        let arr = cont
-            .object(ObjectId::new(1, 2), ObjectClass::SX)
-            .array(MIB);
+        let arr = cont.object(ObjectId::new(1, 2), ObjectClass::SX).array(MIB);
         let t0 = sim.now();
-        arr.write(&sim, 0, Payload::pattern(42, 8 * MIB)).await.unwrap();
+        arr.write(&sim, 0, Payload::pattern(42, 8 * MIB))
+            .await
+            .unwrap();
         println!(
             "[{}] wrote {} via daos_array (SX) in {}",
             sim.now(),
@@ -63,7 +67,9 @@ fn main() {
             .await
             .unwrap();
         let t0 = sim.now();
-        f.pwrite(&sim, 0, Payload::pattern(1, 4 * MIB)).await.unwrap();
+        f.pwrite(&sim, 0, Payload::pattern(1, 4 * MIB))
+            .await
+            .unwrap();
         println!(
             "[{}] wrote {} through the DFuse mount in {}",
             sim.now(),
@@ -71,11 +77,15 @@ fn main() {
             sim.now() - t0
         );
         let back = f.pread_bytes(&sim, MIB, 1024).await.unwrap();
-        assert_eq!(back, Payload::pattern(1, 4 * MIB).slice(MIB, 1024).materialize());
-        println!("[{}] read-back verified; stat: {:?}", sim.now(), mount
-            .stat(&sim, "/results/run-001.dat")
-            .await
-            .unwrap());
+        assert_eq!(
+            back,
+            Payload::pattern(1, 4 * MIB).slice(MIB, 1024).materialize()
+        );
+        println!(
+            "[{}] read-back verified; stat: {:?}",
+            sim.now(),
+            mount.stat(&sim, "/results/run-001.dat").await.unwrap()
+        );
         println!(
             "\ntotal simulated time {}, host events {}",
             sim.now(),

@@ -56,9 +56,7 @@ fn main() {
                     async move {
                         let mut f = w;
                         while f < FIELDS_PER_STEP {
-                            let arr = cont
-                                .object(field_oid(step, f), ObjectClass::S2)
-                                .array(MIB);
+                            let arr = cont.object(field_oid(step, f), ObjectClass::S2).array(MIB);
                             arr.write(&sim, 0, Payload::pattern(step << 8 | f, FIELD_BYTES))
                                 .await
                                 .unwrap();
@@ -110,8 +108,11 @@ fn main() {
                             );
                             let arr = cont.object(oid, ObjectClass::S2).array(MIB);
                             let data = arr.read(&sim, 0, FIELD_BYTES).await.unwrap();
-                            let got: u64 =
-                                data.iter().filter(|s| s.data.is_some()).map(|s| s.len).sum();
+                            let got: u64 = data
+                                .iter()
+                                .filter(|s| s.data.is_some())
+                                .map(|s| s.len)
+                                .sum();
                             assert_eq!(got, FIELD_BYTES, "field {step}/{f} incomplete");
                             checked += 1;
                         }

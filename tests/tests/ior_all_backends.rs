@@ -2,7 +2,6 @@
 //! full data verification — the whole stack (client → fabric → engine →
 //! VOS → media, plus DFS/DFuse/MPI-IO/HDF5 on top) in one test file.
 
-
 use daos_core::ClusterConfig;
 use daos_dfs::DfsConfig;
 use daos_dfuse::DfuseConfig;
@@ -41,7 +40,9 @@ fn run_one(api: Api, fpp: bool) -> daos_ior::IorReport {
         )
         .await
         .expect("testbed");
-        run(&sim, &env, small_params(api, fpp)).await.expect("ior run")
+        run(&sim, &env, small_params(api, fpp))
+            .await
+            .expect("ior run")
     })
 }
 

@@ -39,7 +39,9 @@ fn run_collective(cb: CbMode, rounds: u64) {
             .unwrap();
         let world = MpiWorld::new(
             Rc::clone(&cluster.fabric),
-            (0..RANKS).map(|r| cluster.client_node((r / 4) as u32) as usize).collect(),
+            (0..RANKS)
+                .map(|r| cluster.client_node((r / 4) as u32))
+                .collect(),
         );
         let hints = Hints {
             cb_write: cb,
@@ -52,7 +54,10 @@ fn run_collective(cb: CbMode, rounds: u64) {
                 let world = Rc::clone(&world);
                 let sim = sim.clone();
                 async move {
-                    let f = mount.open(&sim, "/coll.dat", OpenFlags::read()).await.unwrap();
+                    let f = mount
+                        .open(&sim, "/coll.dat", OpenFlags::read())
+                        .await
+                        .unwrap();
                     let mf = MpiFile::open(&sim, world.rank(r), RankFile::Posix(f), hints).await;
                     // interleaved pattern: round k, rank r owns
                     // offset (k*RANKS + r) * PIECE — this is what trips

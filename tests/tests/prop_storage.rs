@@ -5,7 +5,7 @@
 
 use proptest::prelude::*;
 
-use daos_placement::{place, ObjectClass, ObjectId, PoolMap};
+use daos_placement::{place, place_width, ObjectClass, ObjectId, PoolMap};
 use daos_vos::tree::ExtentTree;
 use daos_vos::Payload;
 
@@ -186,15 +186,33 @@ proptest! {
         let a = place(oid, class, &map);
         let b = place(oid, class, &map);
         prop_assert_eq!(&a, &b, "placement must be deterministic");
-        prop_assert_eq!(a.width(), class.shard_count(map.active_target_count()));
+        prop_assert_eq!(a.width(), place_width(class, &map));
         for &t in &a.shards {
             prop_assert!(t < map.target_count());
             prop_assert!(!map.is_excluded(t), "shard on excluded target");
         }
-        // distinctness when there is room
-        if a.width() <= map.active_target_count() {
-            let set: std::collections::BTreeSet<_> = a.shards.iter().collect();
-            prop_assert_eq!(set.len(), a.shards.len());
+        match class {
+            ObjectClass::Replicated { .. } | ObjectClass::ErasureCoded { .. } => {
+                // the protected-class invariant is fault-domain spread: each
+                // group's cells sit on distinct engines while enough engines
+                // have active targets
+                let live = (0..map.engine_count())
+                    .filter(|&e| map.active_targets_on_engine(e) > 0)
+                    .count();
+                let w = class.group_width() as usize;
+                for group in a.shards.chunks(w) {
+                    let engines: std::collections::BTreeSet<_> =
+                        group.iter().map(|&t| map.engine_of(t)).collect();
+                    prop_assert_eq!(engines.len(), w.min(live), "group {:?}", group);
+                }
+            }
+            _ => {
+                // sharded classes: distinct targets when there is room
+                if a.width() <= map.active_target_count() {
+                    let set: std::collections::BTreeSet<_> = a.shards.iter().collect();
+                    prop_assert_eq!(set.len(), a.shards.len());
+                }
+            }
         }
     }
 }

@@ -1,0 +1,186 @@
+//! Minimal offline stand-in for the `criterion` crate.
+//!
+//! Implements enough of the API for `harness = false` benches to compile
+//! and produce useful wall-clock numbers: warm-up + N timed samples with
+//! mean/min reporting and optional byte throughput. No statistics engine,
+//! no plots, no CLI filtering.
+
+use std::time::{Duration, Instant};
+
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// Throughput annotation for a benchmark group.
+#[derive(Clone, Copy, Debug)]
+pub enum Throughput {
+    Bytes(u64),
+    Elements(u64),
+}
+
+/// Timing driver handed to benchmark closures.
+pub struct Bencher {
+    samples: Vec<Duration>,
+    sample_count: usize,
+}
+
+impl Bencher {
+    fn new(sample_count: usize) -> Self {
+        Bencher {
+            samples: Vec::with_capacity(sample_count),
+            sample_count,
+        }
+    }
+
+    /// Time `routine` over the configured number of samples.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        black_box(routine()); // warm-up
+        for _ in 0..self.sample_count {
+            let t0 = Instant::now();
+            black_box(routine());
+            self.samples.push(t0.elapsed());
+        }
+    }
+
+    /// Time `routine` only, re-running `setup` before every sample.
+    pub fn iter_with_setup<S, O, SF: FnMut() -> S, RF: FnMut(S) -> O>(
+        &mut self,
+        mut setup: SF,
+        mut routine: RF,
+    ) {
+        black_box(routine(setup())); // warm-up
+        for _ in 0..self.sample_count {
+            let input = setup();
+            let t0 = Instant::now();
+            black_box(routine(input));
+            self.samples.push(t0.elapsed());
+        }
+    }
+
+    fn report(&self, group: &str, name: &str, throughput: Option<Throughput>) {
+        if self.samples.is_empty() {
+            println!("{group}/{name}: no samples");
+            return;
+        }
+        let total: Duration = self.samples.iter().sum();
+        let mean = total / self.samples.len() as u32;
+        let min = *self.samples.iter().min().unwrap();
+        let extra = match throughput {
+            Some(Throughput::Bytes(b)) if mean.as_nanos() > 0 => {
+                let gib_s = b as f64 / mean.as_secs_f64() / (1u64 << 30) as f64;
+                format!("  {gib_s:.3} GiB/s")
+            }
+            Some(Throughput::Elements(n)) if mean.as_nanos() > 0 => {
+                format!("  {:.0} elem/s", n as f64 / mean.as_secs_f64())
+            }
+            _ => String::new(),
+        };
+        println!(
+            "{group}/{name}: mean {mean:?} min {min:?} ({} samples){extra}",
+            self.samples.len()
+        );
+    }
+}
+
+/// A named group of benchmarks sharing throughput/sample settings.
+pub struct BenchmarkGroup<'a> {
+    #[allow(dead_code)]
+    parent: &'a mut Criterion,
+    name: String,
+    throughput: Option<Throughput>,
+    sample_size: usize,
+}
+
+impl BenchmarkGroup<'_> {
+    pub fn throughput(&mut self, t: Throughput) -> &mut Self {
+        self.throughput = Some(t);
+        self
+    }
+
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    pub fn bench_function<I: Into<String>, F: FnMut(&mut Bencher)>(
+        &mut self,
+        id: I,
+        mut f: F,
+    ) -> &mut Self {
+        let id = id.into();
+        let mut b = Bencher::new(self.sample_size);
+        f(&mut b);
+        b.report(&self.name, &id, self.throughput);
+        self
+    }
+
+    pub fn finish(&mut self) {}
+}
+
+/// Entry point mirroring `criterion::Criterion`.
+#[derive(Default)]
+pub struct Criterion {
+    _private: (),
+}
+
+impl Criterion {
+    pub fn benchmark_group<N: Into<String>>(&mut self, name: N) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            parent: self,
+            name: name.into(),
+            throughput: None,
+            sample_size: 20,
+        }
+    }
+
+    pub fn bench_function<I: Into<String>, F: FnMut(&mut Bencher)>(
+        &mut self,
+        id: I,
+        mut f: F,
+    ) -> &mut Self {
+        let id = id.into();
+        let mut b = Bencher::new(20);
+        f(&mut b);
+        b.report("bench", &id, None);
+        self
+    }
+}
+
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_group_runs_closures() {
+        let mut c = Criterion::default();
+        let mut ran = 0u32;
+        {
+            let mut g = c.benchmark_group("g");
+            g.sample_size(3).throughput(Throughput::Bytes(1 << 20));
+            g.bench_function("count", |b| b.iter(|| ran += 1));
+            g.bench_function("setup", |b| b.iter_with_setup(|| 5u64, |x| x * 2));
+            g.finish();
+        }
+        // 1 warm-up + 3 samples
+        assert_eq!(ran, 4);
+    }
+}

@@ -1,0 +1,64 @@
+//! Minimal offline stand-in for the `crossbeam` crate: [`scope`] backed by
+//! `std::thread::scope`. Only the scoped-spawn API this workspace uses is
+//! provided. One behavioural difference from real crossbeam: a panicking
+//! child thread propagates its panic out of [`scope`] instead of being
+//! returned in the `Err` variant — callers here `.expect()` the result, so
+//! both surface the same way.
+
+use std::any::Any;
+use std::thread;
+
+/// A handle for spawning scoped threads; mirrors `crossbeam::thread::Scope`.
+pub struct Scope<'scope, 'env: 'scope> {
+    inner: &'scope thread::Scope<'scope, 'env>,
+}
+
+impl<'scope, 'env> Scope<'scope, 'env> {
+    /// Spawn a scoped thread. The closure receives the scope (crossbeam
+    /// convention) so it could spawn siblings.
+    pub fn spawn<F, T>(&self, f: F) -> thread::ScopedJoinHandle<'scope, T>
+    where
+        F: FnOnce(&Scope<'scope, 'env>) -> T + Send + 'scope,
+        T: Send + 'scope,
+    {
+        let inner = self.inner;
+        self.inner.spawn(move || f(&Scope { inner }))
+    }
+}
+
+/// Run `f` with a scope in which borrowed-data threads can be spawned; all
+/// threads are joined before this returns.
+pub fn scope<'env, F, R>(f: F) -> Result<R, Box<dyn Any + Send + 'static>>
+where
+    F: for<'scope> FnOnce(&Scope<'scope, 'env>) -> R,
+{
+    Ok(thread::scope(|s| f(&Scope { inner: s })))
+}
+
+pub mod thread_mod {
+    //! Namespace parity shim (real crate exposes `crossbeam::thread`).
+    pub use super::{scope, Scope};
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicU64, Ordering};
+
+    #[test]
+    fn scoped_threads_borrow_and_join() {
+        let counter = AtomicU64::new(0);
+        let counter_ref = &counter;
+        let out = scope(|s| {
+            for i in 0..8u64 {
+                s.spawn(move |_| {
+                    counter_ref.fetch_add(i + 1, Ordering::SeqCst);
+                });
+            }
+            "done"
+        })
+        .expect("scope");
+        assert_eq!(out, "done");
+        assert_eq!(counter.load(Ordering::SeqCst), 36);
+    }
+}
