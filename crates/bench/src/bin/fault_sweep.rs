@@ -11,7 +11,7 @@
 
 use std::rc::Rc;
 
-use daos_bench::{check, paper_cluster};
+use daos_bench::{check, finish, paper_cluster};
 use daos_core::{Cluster, DaosClient, RetryPolicy};
 use daos_placement::{ObjectClass, ObjectId};
 use daos_sim::executor::join_all;
@@ -208,4 +208,5 @@ fn main() {
             t.reintegrated > 0.6 * t.healthy,
         );
     }
+    finish();
 }

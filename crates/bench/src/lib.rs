@@ -173,10 +173,27 @@ pub fn print_ascii_chart(title: &str, ms: &[Measurement], read: bool) {
     }
 }
 
+static FAILED_CHECKS: std::sync::atomic::AtomicU64 = std::sync::atomic::AtomicU64::new(0);
+
 /// Simple shape assertions used by binaries to self-check against the
-/// paper's qualitative results; prints PASS/FAIL rather than panicking.
+/// paper's qualitative results; prints PASS/FAIL rather than panicking,
+/// and counts failures so [`finish`] can gate CI on them.
 pub fn check(label: &str, ok: bool) {
+    if !ok {
+        FAILED_CHECKS.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+    }
     println!("[{}] {label}", if ok { "PASS" } else { "FAIL" });
+}
+
+/// Terminate the binary: exit 0 if every [`check`] passed, 1 otherwise.
+/// Call at the end of `main` so smoke runs in CI fail loudly.
+pub fn finish() -> ! {
+    let n = FAILED_CHECKS.load(std::sync::atomic::Ordering::Relaxed);
+    if n > 0 {
+        eprintln!("{n} check(s) failed");
+        std::process::exit(1);
+    }
+    std::process::exit(0);
 }
 
 #[cfg(test)]

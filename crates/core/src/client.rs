@@ -21,7 +21,7 @@ use daos_vos::tree::ReadSeg;
 use daos_vos::{key, Epoch, Key, Payload};
 
 use crate::cluster::Cluster;
-use crate::proto::{DaosError, Request, Response};
+use crate::proto::{wire_csum, wire_csum_segs, DaosError, Request, Response};
 use crate::ContId;
 
 /// Read "latest" epoch sentinel.
@@ -415,6 +415,7 @@ impl ObjectHandle {
     ) -> Result<Epoch, DaosError> {
         let shard = self.shard_of_dkey(&dkey);
         let (engine, target) = self.route(shard);
+        let csum = wire_csum(&data);
         let rsp = self
             .cont
             .client
@@ -429,6 +430,7 @@ impl ObjectHandle {
                     akey,
                     offset,
                     data,
+                    csum,
                 },
             )
             .await?;
@@ -470,7 +472,14 @@ impl ObjectHandle {
             )
             .await?;
         match rsp {
-            Response::Fetched { segs } => Ok(segs),
+            Response::Fetched { segs, csum } => {
+                if let Some(c) = csum {
+                    if wire_csum_segs(&segs) != c {
+                        return Err(DaosError::CorruptFrame);
+                    }
+                }
+                Ok(segs)
+            }
             Response::Err(e) => Err(e),
             other => Err(DaosError::UnexpectedResponse(format!("{other:?}"))),
         }
@@ -580,6 +589,7 @@ impl KvHandle {
         let dkey = key(k);
         let shard = self.obj.shard_of_dkey(&dkey);
         let (engine, target) = self.obj.route(shard);
+        let csum = wire_csum(&value);
         self.obj
             .cont
             .client
@@ -593,6 +603,7 @@ impl KvHandle {
                     dkey,
                     akey: key("v"),
                     value,
+                    csum,
                 },
             )
             .await?
@@ -711,6 +722,7 @@ impl ArrayHandle {
     ) -> Result<(), DaosError> {
         let client = &self.obj.cont.client;
         let mut last = DaosError::Timeout;
+        let csum = wire_csum(&data);
         for attempt in 0..client.retry.max_attempts {
             let (engine, target) = self.obj.route(shard);
             let r = client
@@ -725,6 +737,7 @@ impl ArrayHandle {
                         akey: key("0"),
                         offset,
                         data: data.clone(),
+                        csum,
                     },
                 )
                 .await
@@ -771,10 +784,36 @@ impl ArrayHandle {
             )
             .await?;
         match rsp {
-            Response::Fetched { segs } => Ok(segs),
+            Response::Fetched { segs, csum } => {
+                if let Some(c) = csum {
+                    if wire_csum_segs(&segs) != c {
+                        // torn on the wire between server hash and us
+                        return Err(DaosError::CorruptFrame);
+                    }
+                }
+                Ok(segs)
+            }
             Response::Err(e) => Err(e),
             other => Err(DaosError::UnexpectedResponse(format!("{other:?}"))),
         }
+    }
+
+    /// Fire-and-forget corruption report for `chunk`'s copy on `shard`'s
+    /// current target; the pool service schedules a targeted repair. The
+    /// read that hit the mismatch does not wait on it.
+    fn report_rot(&self, sim: &Sim, chunk: u64, shard: u32) {
+        let target = self.obj.layout.borrow().target_of(shard);
+        let client = self.obj.cont.client.clone();
+        let req = Request::ReportCorrupt {
+            cont: self.obj.cont.cont,
+            oid: self.obj.oid,
+            chunk,
+            target,
+        };
+        let s = sim.clone();
+        sim.spawn(async move {
+            let _ = client.control(&s, req).await;
+        });
     }
 
     /// Raw single-shard fetch with the full retry/refresh loop; segments
@@ -792,6 +831,12 @@ impl ArrayHandle {
         for attempt in 0..client.retry.max_attempts {
             match self.fetch_shard_once(sim, shard, chunk, offset, len).await {
                 Ok(segs) => return Ok(segs),
+                Err(DaosError::CsumMismatch) => {
+                    // unprotected class: nothing to fail over to, but still
+                    // tell the pool service which copy rotted
+                    self.report_rot(sim, chunk, shard);
+                    return Err(DaosError::CsumMismatch);
+                }
                 Err(e) if e.is_retryable() => last = e,
                 Err(e) => return Err(e),
             }
@@ -954,6 +999,12 @@ impl ArrayHandle {
                             .await
                         {
                             Ok(segs) => return Ok(segs),
+                            Err(DaosError::CsumMismatch) => {
+                                // this replica rotted: report it for repair
+                                // and fail over to the next one
+                                self.report_rot(sim, chunk, shard);
+                                last = DaosError::CsumMismatch;
+                            }
                             Err(e) if e.is_retryable() => last = e,
                             Err(e) => return Err(e),
                         }
@@ -1026,6 +1077,11 @@ impl ArrayHandle {
                         }));
                         continue;
                     }
+                    Err(DaosError::CsumMismatch) => {
+                        // rotten cell: report it, then reconstruct it from
+                        // the rest of the stripe like a dark shard
+                        self.report_rot(sim, chunk, shard);
+                    }
                     // dark but not yet excluded: fall through to reconstruct
                     Err(e) if e.is_retryable() => {}
                     Err(e) => return Err(e),
@@ -1046,7 +1102,16 @@ impl ArrayHandle {
                     // the source is itself mid-refill; retry once it lands
                     return Err(DaosError::Timeout);
                 }
-                let segs = self.fetch_shard_once(sim, oshard, chunk, 0, cell).await?;
+                let segs = match self.fetch_shard_once(sim, oshard, chunk, 0, cell).await {
+                    Ok(s) => s,
+                    Err(DaosError::CsumMismatch) => {
+                        // a reconstruction source is itself rotten: report
+                        // it and retry the pass once repair catches up
+                        self.report_rot(sim, chunk, oshard);
+                        return Err(DaosError::Timeout);
+                    }
+                    Err(e) => return Err(e),
+                };
                 for (o, b) in acc.iter_mut().zip(Self::flatten(&segs, 0, cell)) {
                     *o ^= b;
                 }
@@ -1065,6 +1130,11 @@ impl ArrayHandle {
                         }
                         recovered = true;
                         break;
+                    }
+                    Err(DaosError::CsumMismatch) => {
+                        // rotten parity: report it and try the next one
+                        self.report_rot(sim, chunk, pshard);
+                        parity_err = Some(DaosError::Timeout);
                     }
                     Err(e) if e.is_retryable() => parity_err = Some(e),
                     Err(e) => return Err(e),
@@ -1157,7 +1227,7 @@ impl ArrayHandle {
                 )
                 .await?;
             match rsp {
-                Response::Fetched { segs: s } => {
+                Response::Fetched { segs: s, .. } => {
                     let base = chunk * self.chunk_size;
                     segs.extend(s.into_iter().map(|x| ReadSeg {
                         offset: base + x.offset,

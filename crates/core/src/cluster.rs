@@ -18,7 +18,7 @@ use daos_sim::{FaultAction, FaultInjector, FaultPlan, Sim};
 
 use crate::engine::{Engine, EngineConfig};
 use crate::pool::{spawn_pool_service, HeartbeatConfig, PoolOp, PoolReplica, PoolState};
-use crate::rebuild::{self, RebuildStats};
+use crate::rebuild::{self, CorruptionReport, RebuildStats};
 use crate::ContId;
 
 /// `(cont, oid) → (object class, array chunk size)` for every object
@@ -100,6 +100,26 @@ impl ClusterConfig {
     }
 }
 
+/// What the end-to-end integrity pipeline has seen and done: corruption
+/// reports arriving at the pool service (from client reads and background
+/// scrubbers) and the targeted repairs they triggered.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct CorruptionStats {
+    /// Reports accepted (one per distinct bad copy at a time).
+    pub reported: u64,
+    /// Duplicate reports dropped while a repair for the same copy ran.
+    pub duplicates: u64,
+    /// Targeted repairs that landed.
+    pub repairs_ok: u64,
+    /// Targeted repairs that failed (no live donor, RPC failure).
+    pub repairs_failed: u64,
+    /// Extents rotted by injected [`FaultAction::BitRot`] events.
+    pub rot_injected: u64,
+    /// Virtual instant (ns) the first report was accepted, if any —
+    /// detection latency relative to the injection instant.
+    pub first_report_ns: Option<u64>,
+}
+
 /// A running simulated DAOS system.
 pub struct Cluster {
     pub cfg: ClusterConfig,
@@ -113,6 +133,11 @@ pub struct Cluster {
     objects: RefCell<ObjectRegistry>,
     rebuilds_running: Cell<u32>,
     rebuild_stats: RefCell<RebuildStats>,
+    repairs_running: Cell<u32>,
+    /// Bad copies whose targeted repair is still in flight — the dedupe
+    /// set that keeps a hot chunk from spawning a repair per read.
+    repairs_inflight: RefCell<BTreeSet<CorruptionReport>>,
+    corruption_stats: RefCell<CorruptionStats>,
 }
 
 impl Cluster {
@@ -171,6 +196,9 @@ impl Cluster {
             objects: RefCell::new(BTreeMap::new()),
             rebuilds_running: Cell::new(0),
             rebuild_stats: RefCell::new(RebuildStats::default()),
+            repairs_running: Cell::new(0),
+            repairs_inflight: RefCell::new(BTreeSet::new()),
+            corruption_stats: RefCell::new(CorruptionStats::default()),
         });
         // committed exclusions/reintegrations kick off rebuild on whichever
         // replica leads; the Weak breaks the Rc cycle replica → cluster
@@ -179,6 +207,25 @@ impl Cluster {
             r.set_on_map_change(move |sim, op, state| {
                 if let Some(c) = weak.upgrade() {
                     c.on_map_change(sim, op, state);
+                }
+            });
+        }
+        // corruption reports converge on the same targeted-repair pipeline
+        // whether a client read tripped on them (via the pool service) or
+        // an engine's background scrubber found them locally
+        for r in &cluster.replicas {
+            let weak = Rc::downgrade(&cluster);
+            r.set_on_corruption(move |sim, report| {
+                if let Some(c) = weak.upgrade() {
+                    c.handle_corruption(sim, report);
+                }
+            });
+        }
+        for e in &cluster.engines {
+            let weak = Rc::downgrade(&cluster);
+            e.set_on_corruption(move |sim, report| {
+                if let Some(c) = weak.upgrade() {
+                    c.handle_corruption(sim, report);
                 }
             });
         }
@@ -269,6 +316,56 @@ impl Cluster {
         });
     }
 
+    /// One bad-copy report entering the self-healing pipeline: dedupe
+    /// against repairs already in flight, then spawn a targeted repair of
+    /// that single chunk copy in the background.
+    pub(crate) fn handle_corruption(self: &Rc<Self>, sim: &Sim, report: CorruptionReport) {
+        if !self.repairs_inflight.borrow_mut().insert(report) {
+            self.corruption_stats.borrow_mut().duplicates += 1;
+            return;
+        }
+        {
+            let mut st = self.corruption_stats.borrow_mut();
+            st.reported += 1;
+            st.first_report_ns.get_or_insert(sim.now().as_ns());
+        }
+        self.repairs_running.set(self.repairs_running.get() + 1);
+        let c = Rc::clone(self);
+        let s = sim.clone();
+        sim.spawn(async move {
+            let ok = rebuild::repair_corruption(&s, &c, report).await;
+            {
+                let mut st = c.corruption_stats.borrow_mut();
+                if ok {
+                    st.repairs_ok += 1;
+                } else {
+                    st.repairs_failed += 1;
+                }
+            }
+            // off the in-flight set either way: a failed repair may be
+            // re-reported (and succeed) once donors come back
+            c.repairs_inflight.borrow_mut().remove(&report);
+            c.repairs_running.set(c.repairs_running.get() - 1);
+        });
+    }
+
+    /// Cumulative corruption-report / targeted-repair statistics.
+    pub fn corruption_stats(&self) -> CorruptionStats {
+        self.corruption_stats.borrow().clone()
+    }
+
+    /// Number of targeted corruption repairs currently in flight.
+    pub fn repairs_running(&self) -> u32 {
+        self.repairs_running.get()
+    }
+
+    /// Wait until no targeted corruption repair is in flight.
+    pub async fn quiesce_repairs(&self, sim: &Sim) {
+        while self.repairs_running.get() > 0 {
+            sim.sleep_ms(1).await;
+        }
+    }
+
     /// Number of rebuild passes currently running.
     pub fn rebuilds_running(&self) -> u32 {
         self.rebuilds_running.get()
@@ -301,7 +398,7 @@ impl Cluster {
     }
 
     /// Apply one fault action immediately (the fault-plan handler).
-    pub fn apply_fault(&self, _sim: &Sim, action: FaultAction) {
+    pub fn apply_fault(&self, sim: &Sim, action: FaultAction) {
         match action {
             FaultAction::Crash { node } => {
                 if let Some(e) = self.engines.get(node) {
@@ -318,7 +415,12 @@ impl Cluster {
             FaultAction::Partition { a, b } => {
                 self.fabric.partition_between(a as NodeId, b as NodeId);
             }
-            FaultAction::HealAll => self.fabric.heal_all(),
+            FaultAction::HealAll => {
+                self.fabric.heal_all();
+                for e in &self.engines {
+                    e.set_corrupt_inflight(0);
+                }
+            }
             FaultAction::DropRate { ppm } => {
                 self.fabric.set_drop_rate(ppm, 0xD20B ^ ppm as u64);
             }
@@ -328,6 +430,25 @@ impl Cluster {
             }
             FaultAction::LatencyClear => {
                 self.fabric.set_extra_latency(SimDuration::ZERO);
+            }
+            FaultAction::BitRot {
+                target,
+                fraction_ppm,
+            } => {
+                let t = target as TargetId;
+                if t < self.cfg.engine_count() * self.cfg.targets_per_engine {
+                    let (e, local) = self.resolve_target(t);
+                    // seeded from the virtual instant + target so repeated
+                    // BitRot events rot different (but reproducible) extents
+                    let seed = 0xB17_2077u64 ^ sim.now().as_ns() ^ ((t as u64) << 40);
+                    let rotted = e.target(local).inject_bit_rot(fraction_ppm, seed);
+                    self.corruption_stats.borrow_mut().rot_injected += rotted;
+                }
+            }
+            FaultAction::CorruptInFlight { ppm } => {
+                for e in &self.engines {
+                    e.set_corrupt_inflight(ppm);
+                }
             }
         }
     }

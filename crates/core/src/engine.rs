@@ -22,7 +22,8 @@ use daos_sim::{Pipe, Semaphore, SharedPipe, Sim};
 use daos_vos::target::VosConfig;
 use daos_vos::{Payload, VosTarget};
 
-use crate::proto::{DaosError, Request, Response};
+use crate::proto::{wire_csum, wire_csum_segs, DaosError, Request, Response};
+use crate::rebuild::{CorruptionHook, CorruptionReport};
 
 /// Engine tuning knobs.
 #[derive(Clone, Copy, Debug)]
@@ -76,6 +77,18 @@ pub struct EngineConfig {
     pub aggregation_interval: Option<SimDuration>,
     /// History younger than this is kept for snapshot readers.
     pub aggregation_retention: SimDuration,
+    /// Throughput of the xstream checksum engine (ISA-L-style CRC on the
+    /// service cores). Charged per payload byte on verify-on-write and
+    /// verify-on-fetch when `vos.csum_enabled` — the "measured overhead"
+    /// half of the integrity story.
+    pub csum_bw: Bandwidth,
+    /// Background scrubber pass interval per engine (None disables; also
+    /// idle when `vos.csum_enabled` is off). Each tick verifies up to
+    /// `scrub_chunks` chunks per target, charging media read time — the
+    /// scrub-rate vs foreground-bandwidth tradeoff knob.
+    pub scrub_interval: Option<SimDuration>,
+    /// Chunk budget per target per scrub tick.
+    pub scrub_chunks: usize,
 }
 
 impl Default for EngineConfig {
@@ -92,6 +105,10 @@ impl Default for EngineConfig {
             vos: VosConfig::default(),
             aggregation_interval: Some(SimDuration::from_secs(5)),
             aggregation_retention: SimDuration::from_secs(2),
+            // hardware-accelerated hash class (crc32c / xxh3 on one core)
+            csum_bw: Bandwidth::gib_per_sec(40.0),
+            scrub_interval: Some(SimDuration::from_ms(500)),
+            scrub_chunks: 8,
         }
     }
 }
@@ -125,6 +142,13 @@ pub struct Engine {
     stream_lru: usize,
     misses: std::cell::Cell<u64>,
     hits: std::cell::Cell<u64>,
+    /// In-flight frame-corruption rate (ppm); fault injection via
+    /// `FaultAction::CorruptInFlight`.
+    corrupt_ppm: Cell<u32>,
+    /// Fired for every corrupt chunk the background scrubber finds; the
+    /// cluster wires this to the targeted-repair path.
+    on_corruption: RefCell<Option<CorruptionHook>>,
+    scrub_found: Cell<u64>,
 }
 
 impl Engine {
@@ -168,6 +192,9 @@ impl Engine {
             stream_lru: cfg.stream_lru,
             misses: std::cell::Cell::new(0),
             hits: std::cell::Cell::new(0),
+            corrupt_ppm: Cell::new(0),
+            on_corruption: RefCell::new(None),
+            scrub_found: Cell::new(0),
         });
         // one xstream (FIFO service) per target
         let xstreams: Vec<Semaphore> = (0..targets_per_engine).map(|_| Semaphore::new(1)).collect();
@@ -193,6 +220,46 @@ impl Engine {
                     }
                 }
             });
+        }
+        // background checksum scrubber: walks every target's namespace a
+        // budgeted batch at a time, finding latent rot before clients do
+        if cfg.vos.csum_enabled {
+            if let Some(interval) = cfg.scrub_interval {
+                let e = Rc::clone(&eng);
+                let s = sim.clone();
+                sim.spawn(async move {
+                    loop {
+                        s.sleep(interval).await;
+                        if !e.alive.get() {
+                            continue;
+                        }
+                        for t in 0..e.target_count() {
+                            if e.local_excluded.borrow().contains(&t) {
+                                continue;
+                            }
+                            let target = Rc::clone(e.target(t));
+                            let rep = target.scrub_step(&s, cfg.scrub_chunks).await;
+                            for f in rep.findings {
+                                e.scrub_found.set(e.scrub_found.get() + 1);
+                                // only 8-byte array dkeys map to a chunk
+                                // index the repair path understands
+                                let Ok(raw) = <[u8; 8]>::try_from(f.dkey.as_slice()) else {
+                                    continue;
+                                };
+                                let report = CorruptionReport {
+                                    cont: f.cid,
+                                    oid: ObjectId::new((f.oid >> 64) as u64, f.oid as u64),
+                                    chunk: u64::from_be_bytes(raw),
+                                    target: e.index * e.target_count() + t,
+                                };
+                                if let Some(hook) = e.on_corruption.borrow().as_ref() {
+                                    hook(&s, report);
+                                }
+                            }
+                        }
+                    }
+                });
+            }
         }
         let e2 = Rc::clone(&eng);
         let sim2 = sim.clone();
@@ -302,6 +369,28 @@ impl Engine {
         self.extents_reclaimed.get()
     }
 
+    /// Set the in-flight frame-corruption rate (ppm; 0 clears).
+    pub fn set_corrupt_inflight(&self, ppm: u32) {
+        self.corrupt_ppm.set(ppm);
+    }
+
+    /// Wire the scrubber's corruption findings to a handler (the cluster's
+    /// targeted-repair path).
+    pub fn set_on_corruption(&self, f: impl Fn(&Sim, CorruptionReport) + 'static) {
+        *self.on_corruption.borrow_mut() = Some(Box::new(f));
+    }
+
+    /// Corrupt chunks found by this engine's background scrubber so far.
+    pub fn scrub_found(&self) -> u64 {
+        self.scrub_found.get()
+    }
+
+    /// Roll the in-flight corruption dice for one frame.
+    fn frame_torn(&self, sim: &Sim) -> bool {
+        let ppm = self.corrupt_ppm.get();
+        ppm > 0 && sim.rand_below(1_000_000) < ppm as u64
+    }
+
     async fn handle(
         &self,
         sim: &Sim,
@@ -364,6 +453,14 @@ impl Engine {
                         cfg.xstream_copy_bw.ns_for(copy_bytes),
                     ))
                     .await;
+                    // checksum engine: hash every payload byte once on the
+                    // serving xstream (verify-on-write / csum-on-fetch)
+                    if cfg.vos.csum_enabled {
+                        sim.sleep(daos_sim::time::SimDuration::from_ns(
+                            cfg.csum_bw.ns_for(copy_bytes),
+                        ))
+                        .await;
+                    }
                 }
                 self.exec_data(sim, &self.targets[t], cfg, inc.req.clone())
                     .await
@@ -407,6 +504,7 @@ impl Engine {
                 akey,
                 offset,
                 data,
+                csum,
                 ..
             } => {
                 if self.stream_miss(cont, oid) {
@@ -414,6 +512,17 @@ impl Engine {
                     sim.sleep(cfg.write_miss_stall).await;
                 }
                 self.bulk_write.transfer(sim, data.len()).await;
+                // fault injection: the bulk may tear in flight...
+                let data = if self.frame_torn(sim) {
+                    data.corrupted()
+                } else {
+                    data
+                };
+                // ...and verify-on-write is what keeps torn frames off
+                // media: reject before anything is committed.
+                if cfg.vos.csum_enabled && wire_csum(&data) != csum {
+                    return Response::Err(DaosError::CorruptFrame);
+                }
                 let epoch = target.next_epoch_at(sim.now().as_ns());
                 target
                     .update_array(
@@ -443,7 +552,7 @@ impl Engine {
                 if miss {
                     sim.sleep(cfg.read_miss_latency).await;
                 }
-                let segs = target
+                let segs = match target
                     .fetch_array(
                         sim,
                         cont,
@@ -454,7 +563,13 @@ impl Engine {
                         len,
                         epoch,
                     )
-                    .await;
+                    .await
+                {
+                    Ok(segs) => segs,
+                    // stored bytes disagree with the stored checksum:
+                    // silent media corruption, surfaced as a typed error
+                    Err(_violation) => return Response::Err(DaosError::CsumMismatch),
+                };
                 let data: u64 = segs
                     .iter()
                     .filter(|s| s.data.is_some())
@@ -464,7 +579,20 @@ impl Engine {
                 self.bulk_read
                     .transfer(sim, (data as f64 * amp) as u64)
                     .await;
-                Response::Fetched { segs }
+                // checksum the response before it leaves, then maybe tear
+                // it in flight — the client's verify catches the tear
+                let csum = cfg.vos.csum_enabled.then(|| wire_csum_segs(&segs));
+                let segs = if self.frame_torn(sim) {
+                    segs.into_iter()
+                        .map(|mut s| {
+                            s.data = s.data.map(|d| d.corrupted());
+                            s
+                        })
+                        .collect()
+                } else {
+                    segs
+                };
+                Response::Fetched { segs, csum }
             }
             Request::UpdateSingle {
                 cont,
@@ -472,8 +600,17 @@ impl Engine {
                 dkey,
                 akey,
                 value,
+                csum,
                 ..
             } => {
+                let value = if self.frame_torn(sim) {
+                    value.corrupted()
+                } else {
+                    value
+                };
+                if cfg.vos.csum_enabled && wire_csum(&value) != csum {
+                    return Response::Err(DaosError::CorruptFrame);
+                }
                 let epoch = target.next_epoch_at(sim.now().as_ns());
                 target
                     .update_single(sim, cont, Self::oid_key(oid), &dkey, &akey, epoch, value)

@@ -30,11 +30,11 @@ pub mod rebuild;
 pub use client::{
     ArrayHandle, ContainerHandle, DaosClient, KvHandle, ObjectHandle, PoolHandle, RetryPolicy,
 };
-pub use cluster::{Cluster, ClusterConfig};
+pub use cluster::{Cluster, ClusterConfig, CorruptionStats};
 pub use engine::{Engine, EngineConfig};
 pub use pool::{HeartbeatConfig, PoolOp, PoolState};
 pub use proto::{DaosError, Request, Response};
-pub use rebuild::RebuildStats;
+pub use rebuild::{CorruptionReport, RebuildStats};
 
 /// Container id within a pool.
 pub type ContId = u64;

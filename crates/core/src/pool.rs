@@ -20,6 +20,7 @@ use daos_sim::Sim;
 
 use crate::engine::ControlQueue;
 use crate::proto::{DaosError, Request, Response};
+use crate::rebuild::{CorruptionHook, CorruptionReport};
 use crate::ContId;
 
 /// Replicated pool-service commands.
@@ -186,6 +187,9 @@ pub struct PoolReplica {
     /// uses to kick off rebuild.
     #[allow(clippy::type_complexity)]
     on_map_change: RefCell<Option<Box<dyn Fn(&Sim, &PoolOp, &PoolState)>>>,
+    /// Invoked when a client reports a checksum-failed chunk copy — the
+    /// hook the testbed uses to kick off a targeted repair.
+    on_corruption: RefCell<Option<CorruptionHook>>,
 }
 
 impl PoolReplica {
@@ -204,6 +208,11 @@ impl PoolReplica {
     /// Install the map-change hook (see [`PoolReplica::on_map_change`]).
     pub fn set_on_map_change(&self, f: impl Fn(&Sim, &PoolOp, &PoolState) + 'static) {
         *self.on_map_change.borrow_mut() = Some(Box::new(f));
+    }
+    /// Install the corruption-report hook (see
+    /// [`PoolReplica::on_corruption`]).
+    pub fn set_on_corruption(&self, f: impl Fn(&Sim, CorruptionReport) + 'static) {
+        *self.on_corruption.borrow_mut() = Some(Box::new(f));
     }
 
     fn dispatch(self: &Rc<Self>, sim: &Sim, envs: Vec<daos_raft::Envelope<PoolOp>>) {
@@ -277,6 +286,30 @@ impl PoolReplica {
             }
             Request::PoolExclude { targets } => PoolOp::Exclude(targets),
             Request::PoolReintegrate { targets } => PoolOp::Reintegrate(targets),
+            // Advisory, not replicated state: whichever replica gets the
+            // report acknowledges and kicks the repair hook directly. A
+            // report lost to a crash is harmless — the next verified read
+            // or scrub pass of the bad copy re-reports it.
+            Request::ReportCorrupt {
+                cont,
+                oid,
+                chunk,
+                target,
+            } => {
+                reply.send(Response::Ok);
+                if let Some(f) = self.on_corruption.borrow().as_ref() {
+                    f(
+                        sim,
+                        CorruptionReport {
+                            cont,
+                            oid,
+                            chunk,
+                            target,
+                        },
+                    );
+                }
+                return;
+            }
             other => {
                 reply.send(Response::Err(DaosError::Other(format!(
                     "not a control op: {other:?}"
@@ -361,6 +394,7 @@ pub fn spawn_pool_service(
                 engines,
                 targets_per_engine,
                 on_map_change: RefCell::new(None),
+                on_corruption: RefCell::new(None),
             })
         })
         .collect();

@@ -30,6 +30,18 @@ pub enum DaosError {
     /// The server answered with a response kind the caller cannot use —
     /// a protocol mismatch, not retryable.
     UnexpectedResponse(String),
+    /// Stored data failed checksum verification on the server: silent media
+    /// corruption. NOT retryable against the same shard — the bytes on
+    /// media are wrong and will stay wrong; the client must fail over to
+    /// another replica (or EC-reconstruct) and report the shard for repair.
+    CsumMismatch,
+    /// A data frame was corrupted in flight (torn bulk transfer): the
+    /// received bytes disagree with the frame's checksum. Retryable — a
+    /// resend rereads the good source bytes.
+    CorruptFrame,
+    /// Filesystem-level metadata (e.g. a DFS dirent) failed to deserialise:
+    /// the stored record is structurally corrupt. Not retryable.
+    CorruptMetadata(String),
     /// Anything else.
     Other(String),
 }
@@ -44,6 +56,7 @@ impl DaosError {
                 | DaosError::Transport
                 | DaosError::StaleMap { .. }
                 | DaosError::NotLeader { .. }
+                | DaosError::CorruptFrame
         )
     }
 }
@@ -63,6 +76,9 @@ impl std::fmt::Display for DaosError {
             }
             DaosError::NoSurvivingReplicas => write!(f, "no surviving replica for shard"),
             DaosError::UnexpectedResponse(s) => write!(f, "unexpected response {s}"),
+            DaosError::CsumMismatch => write!(f, "stored data failed checksum verification"),
+            DaosError::CorruptFrame => write!(f, "data frame corrupted in flight"),
+            DaosError::CorruptMetadata(s) => write!(f, "corrupt metadata: {s}"),
             DaosError::Other(s) => write!(f, "{s}"),
         }
     }
@@ -91,6 +107,10 @@ pub enum Request {
         akey: Key,
         offset: u64,
         data: Payload,
+        /// End-to-end checksum over `data`, computed client-side before the
+        /// bulk transfer; the server re-hashes the received bytes and
+        /// rejects torn frames with [`DaosError::CorruptFrame`].
+        csum: u64,
     },
     FetchArray {
         target: u32,
@@ -109,6 +129,8 @@ pub enum Request {
         dkey: Key,
         akey: Key,
         value: Payload,
+        /// End-to-end checksum over `value` (see `UpdateArray::csum`).
+        csum: u64,
     },
     FetchSingle {
         target: u32,
@@ -178,6 +200,18 @@ pub enum Request {
     ContDestroy {
         cont: ContId,
     },
+    /// Tell the pool service a shard's stored data failed verification
+    /// (sent by clients on `CsumMismatch` and by engine scrubbers). The
+    /// service triggers a targeted repair of that one chunk — not a
+    /// whole-target rebuild.
+    ReportCorrupt {
+        cont: ContId,
+        oid: ObjectId,
+        /// Chunk index within the object (the array dkey).
+        chunk: u64,
+        /// The target whose copy is bad.
+        target: daos_placement::TargetId,
+    },
 }
 
 impl Request {
@@ -201,6 +235,10 @@ pub enum Response {
     },
     Fetched {
         segs: Vec<ReadSeg>,
+        /// End-to-end checksum over the returned data segments (when the
+        /// serving engine has checksums enabled). The client re-hashes the
+        /// received bytes; a disagreement is a torn response frame.
+        csum: Option<u64>,
     },
     Single(Option<Payload>),
     Dkeys(Vec<Key>),
@@ -228,7 +266,7 @@ impl Response {
     /// Bytes of bulk payload this response carries (read data).
     pub fn bulk_out(&self) -> u64 {
         match self {
-            Response::Fetched { segs } => segs
+            Response::Fetched { segs, .. } => segs
                 .iter()
                 .filter_map(|s| s.data.as_ref())
                 .map(|d| d.len())
@@ -253,6 +291,26 @@ impl Response {
     }
 }
 
+/// End-to-end checksum of one payload as carried on the wire.
+pub fn wire_csum(p: &Payload) -> u64 {
+    daos_vos::csum64(daos_vos::CSUM_SEED, p)
+}
+
+/// End-to-end checksum over a fetch response's data segments: each data
+/// segment's payload hash folded with its offset, so reordered or shifted
+/// segments also fail verification.
+pub fn wire_csum_segs(segs: &[ReadSeg]) -> u64 {
+    let mut h = daos_vos::CSUM_SEED;
+    for s in segs {
+        if let Some(d) = &s.data {
+            h = (h ^ s.offset ^ daos_vos::csum64(daos_vos::CSUM_SEED, d))
+                .wrapping_mul(0x100_0000_01b3)
+                .rotate_left(17);
+        }
+    }
+    h
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -267,6 +325,7 @@ mod tests {
             akey: vec![0],
             offset: 0,
             data: Payload::pattern(1, 4096),
+            csum: wire_csum(&Payload::pattern(1, 4096)),
         };
         assert_eq!(w.bulk_in(), 4096);
         let r = Response::Fetched {
@@ -282,8 +341,36 @@ mod tests {
                     data: None,
                 },
             ],
+            csum: None,
         };
         assert_eq!(r.bulk_out(), 100);
+    }
+
+    #[test]
+    fn wire_csum_detects_corruption_and_reorder() {
+        let p = Payload::pattern(9, 1024);
+        assert_eq!(wire_csum(&p), wire_csum(&Payload::bytes(p.materialize())));
+        assert_ne!(wire_csum(&p), wire_csum(&p.corrupted()));
+
+        let seg = |off, seed| ReadSeg {
+            offset: off,
+            len: 64,
+            data: Some(Payload::pattern(seed, 64)),
+        };
+        let a = vec![seg(0, 1), seg(64, 2)];
+        let mut shifted = a.clone();
+        shifted[1].offset = 128;
+        assert_ne!(wire_csum_segs(&a), wire_csum_segs(&shifted));
+        let mut torn = a.clone();
+        torn[0].data = torn[0].data.as_ref().map(|d| d.corrupted());
+        assert_ne!(wire_csum_segs(&a), wire_csum_segs(&torn));
+    }
+
+    #[test]
+    fn csum_error_taxonomy() {
+        assert!(!DaosError::CsumMismatch.is_retryable());
+        assert!(DaosError::CorruptFrame.is_retryable());
+        assert!(!DaosError::CorruptMetadata("x".into()).is_retryable());
     }
 
     #[test]

@@ -24,7 +24,8 @@ use daos_vos::{key, Epoch, Payload};
 
 use crate::client::group_of_chunk;
 use crate::cluster::Cluster;
-use crate::proto::{Request, Response};
+use crate::proto::{wire_csum, wire_csum_segs, Request, Response};
+use crate::ContId;
 
 /// Per-RPC deadline inside a rebuild pass; a source that stays dark this
 /// long is skipped and the chunk is left for the next pass.
@@ -58,6 +59,25 @@ impl RebuildStats {
         self.chunks_skipped += other.chunks_skipped;
     }
 }
+
+/// One bad chunk copy, as reported by a client read that hit a checksum
+/// mismatch or by an engine's background scrubber. Identifies exactly one
+/// stored copy: the chunk's extent on one target.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord)]
+pub struct CorruptionReport {
+    /// Container holding the object.
+    pub cont: ContId,
+    /// The damaged object.
+    pub oid: ObjectId,
+    /// Array chunk index (big-endian dkey).
+    pub chunk: u64,
+    /// The target whose copy failed verification.
+    pub target: TargetId,
+}
+
+/// Callback fired when a component learns of a bad stored copy — wired by
+/// the cluster to spawn a targeted repair.
+pub(crate) type CorruptionHook = Box<dyn Fn(&Sim, CorruptionReport)>;
 
 fn map_with(cluster: &Cluster, excluded: &BTreeSet<TargetId>) -> PoolMap {
     let mut m = PoolMap::new(cluster.cfg.engine_count(), cluster.cfg.targets_per_engine);
@@ -132,7 +152,15 @@ async fn fetch_from(
     )
     .await?;
     match rsp {
-        Response::Fetched { segs } => Some(segs),
+        Response::Fetched { segs, csum } => {
+            // a donor read torn in flight must not be written back as truth
+            if let Some(c) = csum {
+                if wire_csum_segs(&segs) != c {
+                    return None;
+                }
+            }
+            Some(segs)
+        }
         _ => None,
     }
 }
@@ -151,6 +179,7 @@ async fn write_to(
 ) -> bool {
     let tpe = cluster.cfg.targets_per_engine;
     let dest_engine = dst / tpe;
+    let csum = wire_csum(&data);
     matches!(
         engine_rpc(
             sim,
@@ -165,6 +194,7 @@ async fn write_to(
                 akey: key("0"),
                 offset,
                 data,
+                csum,
             },
         )
         .await,
@@ -193,29 +223,36 @@ async fn repair_chunk(
     let dest_engine = dst / cluster.cfg.targets_per_engine;
     match class {
         ObjectClass::Replicated { .. } => {
-            // copy the whole chunk from the first live replica
-            let donor = *donors.first()?;
-            let segs = fetch_from(
-                sim,
-                cluster,
-                dest_engine,
-                new_targets[donor as usize],
-                cont,
-                oid,
-                &dkey,
-                chunk_size,
-            )
-            .await?;
-            let mut moved = 0;
-            for s in segs {
-                if let Some(d) = s.data {
-                    moved += d.len();
-                    if !write_to(sim, cluster, dst, cont, oid, &dkey, s.offset, d).await {
-                        return None;
+            // copy the whole chunk from the first replica that serves it
+            // clean — a donor can itself hold rot (its engine answers the
+            // fetch with a checksum error, surfacing here as None)
+            for &donor in donors {
+                let Some(segs) = fetch_from(
+                    sim,
+                    cluster,
+                    dest_engine,
+                    new_targets[donor as usize],
+                    cont,
+                    oid,
+                    &dkey,
+                    chunk_size,
+                )
+                .await
+                else {
+                    continue;
+                };
+                let mut moved = 0;
+                for s in segs {
+                    if let Some(d) = s.data {
+                        moved += d.len();
+                        if !write_to(sim, cluster, dst, cont, oid, &dkey, s.offset, d).await {
+                            return None;
+                        }
                     }
                 }
+                return Some(moved);
             }
-            Some(moved)
+            None
         }
         ObjectClass::ErasureCoded {
             data: k, parity, ..
@@ -421,4 +458,73 @@ pub(crate) async fn run(
         }
     }
     stats
+}
+
+/// Targeted self-healing of one reported-bad chunk copy: re-derive the
+/// chunk from the surviving group members (replica copy or EC
+/// reconstruction) and overwrite the rotten copy at a fresh epoch, so the
+/// damaged extent is shadowed and never served again. Unlike a rebuild
+/// pass this touches exactly one chunk on one target. Returns whether the
+/// repair landed.
+pub(crate) async fn repair_corruption(
+    sim: &Sim,
+    cluster: &Rc<Cluster>,
+    report: CorruptionReport,
+) -> bool {
+    let Some((class, chunk_size)) = cluster
+        .registered_objects()
+        .into_iter()
+        .find(|&(c, o, _, _)| c == report.cont && o == report.oid)
+        .map(|(_, _, class, cs)| (class, cs))
+    else {
+        return false; // unknown object: nothing to repair from
+    };
+    let Some(chunk_size) = chunk_size else {
+        return false;
+    };
+    if !matches!(
+        class,
+        ObjectClass::Replicated { .. } | ObjectClass::ErasureCoded { .. }
+    ) {
+        return false; // unprotected: no redundancy to heal from
+    }
+    let map = cluster.pool_map().clone();
+    let layout = place(report.oid, class, &map);
+    let width = layout.width();
+    let gw = class.group_width();
+    let group_count = (width / gw).max(1);
+    // resolve the chunk's group first, then look for the reported target
+    // inside it — placement may park shards of several groups on one
+    // target, and only the shard in this chunk's group holds its extent
+    let g = group_of_chunk(report.oid, report.chunk, group_count);
+    let group = g * gw..(g + 1) * gw;
+    let Some(shard) = group
+        .clone()
+        .find(|&s| layout.target_of(s) == report.target)
+    else {
+        return false; // the layout moved on; a rebuild pass owns it now
+    };
+    let donors: Vec<u32> = group
+        .clone()
+        .filter(|&d| d != shard && !map.is_excluded(layout.target_of(d)))
+        .collect();
+    if donors.is_empty() {
+        return false;
+    }
+    let targets: Vec<TargetId> = (0..width).map(|i| layout.target_of(i)).collect();
+    repair_chunk(
+        sim,
+        cluster,
+        report.cont,
+        report.oid,
+        class,
+        chunk_size,
+        report.chunk,
+        shard,
+        group,
+        &donors,
+        &targets,
+    )
+    .await
+    .is_some()
 }

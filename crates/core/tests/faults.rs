@@ -162,6 +162,134 @@ fn engine_crash_heals_end_to_end_ec() {
     assert_eq!(a, b, "same seed + same fault plan must replay identically");
 }
 
+/// Outcome snapshot for the rot-mixed chaos scenario.
+#[derive(PartialEq, Debug)]
+struct RotOutcome {
+    final_time_ns: u64,
+    rot_injected: u64,
+    reported: u64,
+    repairs_ok: u64,
+    data: Vec<u8>,
+}
+
+/// BitRot mixed into the crash/restart chaos: an engine dies and is
+/// excluded, rebuild re-protects the data, and only then does silent
+/// corruption rot every extent on a surviving target — media faults land
+/// on a full-redundancy system. Client reads must detect the rot through
+/// checksums, heal through the other replica and report the bad copies;
+/// the background scrubber must find the copies no client read touches.
+/// After restart + reintegration every byte reads back identical.
+fn crash_then_bitrot(seed: u64) -> RotOutcome {
+    let mut sim = Sim::new(seed);
+    let mut cfg = ClusterConfig {
+        server_nodes: 4,
+        targets_per_engine: 2,
+        ..testbed()
+    };
+    // fast scrubber so the copies client reads never touch are found
+    // (and repaired) well before reintegration pulls from them
+    cfg.engine.scrub_interval = Some(SimDuration::from_ms(20));
+    cfg.engine.scrub_chunks = 16;
+    let tpe = cfg.targets_per_engine;
+    let dead: Vec<u32> = (2 * tpe..3 * tpe).collect();
+    sim.block_on(move |sim| async move {
+        let cluster = Cluster::build(&sim, cfg);
+        let client = DaosClient::new(Rc::clone(&cluster), 0).with_retry(tight_retry());
+        let pool = client.connect(&sim).await.unwrap();
+        let cont = pool.create_container(&sim, 1).await.unwrap();
+        let arr = cont
+            .object(ObjectId::new(8, 8), ObjectClass::RP_2GX)
+            .array(64 * KIB);
+        let data = Payload::pattern(13, 2 * MIB);
+
+        arr.write(&sim, 0, data.slice(0, MIB)).await.unwrap();
+        let t0 = sim.now().as_ns();
+        let injector = cluster.install_fault_plan(
+            &sim,
+            FaultPlan::new()
+                .at(
+                    SimTime::from_ns(t0 + 200_000),
+                    FaultAction::Crash { node: 2 },
+                )
+                .at(
+                    SimTime::from_ns(t0 + 60_000_000),
+                    FaultAction::BitRot {
+                        target: 6, // engine 3, a surviving replica holder
+                        fraction_ppm: 1_000_000,
+                    },
+                )
+                .at(
+                    SimTime::from_ns(t0 + 200_000_000),
+                    FaultAction::Restart { node: 2 },
+                ),
+        );
+        // rides through the crash exactly like the plain chaos scenario
+        arr.write(&sim, MIB, data.slice(MIB, MIB)).await.unwrap();
+        cluster.quiesce_rebuild(&sim).await;
+        assert!(
+            sim.now().as_ns() < t0 + 60_000_000,
+            "rebuild must finish before the rot fires"
+        );
+
+        sim.sleep_until(SimTime::from_ns(t0 + 61_000_000)).await;
+        assert_eq!(injector.fired().len(), 2, "crash + rot must have fired");
+        let rot_injected = cluster.corruption_stats().rot_injected;
+        assert!(rot_injected > 0, "the rot event must have hit extents");
+
+        // read-heal: any read landing on the rotten replica fails over;
+        // every byte still comes back correct. Reads whose first-choice
+        // replica is clean never touch the rot — those copies are the
+        // scrubber's to find.
+        let got = arr.read_bytes(&sim, 0, 2 * MIB).await.unwrap();
+        assert_eq!(got, data.materialize().to_vec(), "read through rot corrupt");
+
+        // give the scrubber a few passes to find the copies no client
+        // read chose, then let the targeted repairs drain
+        sim.sleep_until(SimTime::from_ns(t0 + 190_000_000)).await;
+        cluster.quiesce_repairs(&sim).await;
+        let st = cluster.corruption_stats();
+        assert!(st.reported > 0, "rot must get reported: {st:?}");
+        assert!(st.repairs_ok > 0, "targeted repairs must land: {st:?}");
+
+        // restart fired at 200 ms; reintegrate and re-verify everything,
+        // including shards refilled from the repaired copies
+        sim.sleep_until(SimTime::from_ns(t0 + 201_000_000)).await;
+        client
+            .control(
+                &sim,
+                daos_core::Request::PoolReintegrate {
+                    targets: dead.clone(),
+                },
+            )
+            .await
+            .unwrap();
+        client.refresh_pool_map(&sim).await;
+        cluster.quiesce_rebuild(&sim).await;
+        let got = arr.read_bytes(&sim, 0, 2 * MIB).await.unwrap();
+        assert_eq!(
+            got,
+            data.materialize().to_vec(),
+            "post-reintegration read corrupt"
+        );
+        cluster.quiesce_repairs(&sim).await;
+        let st = cluster.corruption_stats();
+        RotOutcome {
+            final_time_ns: sim.now().as_ns(),
+            rot_injected,
+            reported: st.reported,
+            repairs_ok: st.repairs_ok,
+            data: got,
+        }
+    })
+}
+
+#[test]
+fn bitrot_mixed_chaos_heals_and_replays_identically() {
+    let a = crash_then_bitrot(0xB17D);
+    let b = crash_then_bitrot(0xB17D);
+    assert_eq!(a, b, "same seed + same fault plan must replay identically");
+}
+
 /// A crashed engine that comes back *without* being excluded (it returns
 /// before the detector's suspect count trips) keeps serving: transient
 /// blips are retried through, not escalated.

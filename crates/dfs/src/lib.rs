@@ -270,7 +270,7 @@ impl Dfs {
                 return Err(DaosError::Other(format!("no such directory: {comp}")));
             };
             let ent = DirEntry::from_bytes(&v.materialize())
-                .ok_or_else(|| DaosError::Other("corrupt dirent".into()))?;
+                .ok_or_else(|| DaosError::CorruptMetadata("corrupt dirent".into()))?;
             if ent.kind != EntryKind::Dir {
                 return Err(DaosError::Other(format!("not a directory: {comp}")));
             }
@@ -292,8 +292,13 @@ impl Dfs {
         }
         let (parent, name) = self.resolve_parent(sim, path).await?;
         let v = self.dir_kv(parent).get(sim, name).await?;
-        Ok(v.filter(|v| !v.is_empty())
-            .and_then(|v| DirEntry::from_bytes(&v.materialize())))
+        match v.filter(|v| !v.is_empty()) {
+            None => Ok(None),
+            // a present-but-undecodable entry is damage, not absence
+            Some(v) => DirEntry::from_bytes(&v.materialize())
+                .map(Some)
+                .ok_or_else(|| DaosError::CorruptMetadata("corrupt dirent".into())),
+        }
     }
 
     /// Create a directory.
@@ -376,7 +381,7 @@ impl Dfs {
         // shared-file mode has every rank "creating" the same file
         if let Some(v) = kv.get(sim, name).await?.filter(|v| !v.is_empty()) {
             let ent = DirEntry::from_bytes(&v.materialize())
-                .ok_or_else(|| DaosError::Other("corrupt dirent".into()))?;
+                .ok_or_else(|| DaosError::CorruptMetadata("corrupt dirent".into()))?;
             if ent.kind == EntryKind::File {
                 return Ok(self.file_from(ent));
             }
@@ -464,7 +469,7 @@ impl Dfs {
             return Err(DaosError::Other(format!("no such file: {path}")));
         };
         let ent = DirEntry::from_bytes(&v.materialize())
-            .ok_or_else(|| DaosError::Other("corrupt dirent".into()))?;
+            .ok_or_else(|| DaosError::CorruptMetadata("corrupt dirent".into()))?;
         kv.put(sim, name, Payload::bytes(Vec::new())).await?;
         self.cont.object(ent.oid, ent.class).punch(sim).await?;
         Ok(())

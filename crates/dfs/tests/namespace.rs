@@ -190,3 +190,40 @@ fn two_mounts_see_each_others_changes() {
         assert!(fs0.lookup(&sim, "/from1").await.unwrap().is_some());
     });
 }
+
+#[test]
+fn mangled_dirent_surfaces_as_corrupt_metadata() {
+    let mut sim = Sim::new(0xD57);
+    sim.block_on(|sim| async move {
+        let fs = fs(&sim).await;
+        fs.create(&sim, "/victim.dat", ObjectClass::S1, MIB)
+            .await
+            .unwrap();
+        // scribble over the dirent value through the raw KV interface
+        // (root directory object is oid {0, 2}, dir class S1): kind byte 9
+        // is no valid entry kind, so deserialisation must refuse it
+        let root = daos_placement::ObjectId::new(0, 2);
+        let kv = fs
+            .container()
+            .object(root, DfsConfig::default().dir_class)
+            .kv();
+        kv.put(&sim, "victim.dat", Payload::bytes(vec![9u8; 32]))
+            .await
+            .unwrap();
+        match fs.open(&sim, "/victim.dat").await {
+            Err(daos_core::DaosError::CorruptMetadata(_)) => {}
+            Err(e) => panic!("expected CorruptMetadata, got {e:?}"),
+            Ok(_) => panic!("expected CorruptMetadata, got Ok"),
+        }
+        // unlink trips over the same tombstone-decoding path
+        match fs.unlink(&sim, "/victim.dat").await {
+            Err(daos_core::DaosError::CorruptMetadata(_)) => {}
+            other => panic!("expected CorruptMetadata, got {other:?}"),
+        }
+        // intact siblings stay reachable
+        fs.create(&sim, "/ok.dat", ObjectClass::S1, KIB)
+            .await
+            .unwrap();
+        assert!(fs.open(&sim, "/ok.dat").await.is_ok());
+    });
+}

@@ -38,7 +38,7 @@ pub enum FaultAction {
     Restart { node: usize },
     /// Sever connectivity between two nodes (both directions).
     Partition { a: usize, b: usize },
-    /// Remove all partitions and message loss.
+    /// Remove all partitions, message loss, and in-flight corruption.
     HealAll,
     /// Drop messages uniformly at the given rate, in parts per million.
     DropRate { ppm: u32 },
@@ -46,6 +46,15 @@ pub enum FaultAction {
     LatencySpike { extra_ns: u64 },
     /// Remove the latency spike.
     LatencyClear,
+    /// Silently corrupt stored extents on one storage target: each extent
+    /// rots independently with probability `fraction_ppm` parts per million.
+    /// Stored checksums go stale — nothing notices until a verified read or
+    /// a scrub pass hashes the bytes.
+    BitRot { target: usize, fraction_ppm: u32 },
+    /// Corrupt data frames in flight at the given rate (parts per million):
+    /// torn bulk transfers that arrive on time and parse fine. Caught only
+    /// by end-to-end checksums. `ppm: 0` (or `HealAll`) clears it.
+    CorruptInFlight { ppm: u32 },
 }
 
 /// A time-ordered schedule of fault events.

@@ -18,8 +18,8 @@
 pub mod target;
 pub mod tree;
 
-pub use target::{VosConfig, VosCounters, VosTarget};
-pub use tree::{Extent, ExtentTree, ReadSeg};
+pub use target::{ScrubFinding, ScrubReport, VosConfig, VosCounters, VosTarget};
+pub use tree::{CsumViolation, Extent, ExtentTree, ReadSeg};
 
 use bytes::Bytes;
 
@@ -104,6 +104,81 @@ impl Payload {
             }
         }
     }
+
+    /// A deterministically *corrupted* copy of this payload — the
+    /// fault-injection primitive behind bit rot and torn frames. The result
+    /// has the same length but different bytes, so a checksum computed over
+    /// the original no longer matches.
+    pub fn corrupted(&self) -> Payload {
+        match self {
+            Payload::Bytes(b) => {
+                if b.is_empty() {
+                    return self.clone();
+                }
+                let mut v = b.to_vec();
+                let mid = v.len() / 2;
+                v[mid] ^= 0x80;
+                Payload::Bytes(Bytes::from(v))
+            }
+            Payload::Pattern { seed, skew, len } => Payload::Pattern {
+                seed: seed ^ 0xB17_2077_DEAD_BEEF,
+                skew: *skew,
+                len: *len,
+            },
+        }
+    }
+}
+
+/// Seed for every stored / on-wire checksum in the stack (a deployment-wide
+/// constant in real DAOS; the seed keeps the hash from being forgeable by
+/// all-zero data).
+pub const CSUM_SEED: u64 = 0xC5C5_5EED_DA05_0001;
+
+/// Seeded 64-bit checksum over a payload's *real bytes*. `Payload::Bytes`
+/// hashes the slice directly; `Payload::Pattern` streams through a
+/// fixed-size stack buffer so terabyte-scale synthetic payloads stay
+/// allocation-free. Both kinds of payload with identical bytes produce the
+/// identical checksum.
+pub fn csum64(seed: u64, p: &Payload) -> u64 {
+    match p {
+        Payload::Bytes(b) => csum64_bytes(seed, b),
+        Payload::Pattern { .. } => {
+            let len = p.len();
+            let mut h = seed ^ len;
+            let mut buf = [0u8; 256];
+            let mut pos = 0u64;
+            while pos < len {
+                let n = (len - pos).min(256) as usize;
+                for (i, slot) in buf[..n].iter_mut().enumerate() {
+                    *slot = p.byte_at(pos + i as u64);
+                }
+                h = csum_fold(h, &buf[..n]);
+                pos += n as u64;
+            }
+            daos_splitmix(h)
+        }
+    }
+}
+
+/// Seeded 64-bit checksum over literal bytes (same function as
+/// [`csum64`] on a `Payload::Bytes`).
+pub fn csum64_bytes(seed: u64, bytes: &[u8]) -> u64 {
+    daos_splitmix(csum_fold(seed ^ bytes.len() as u64, bytes))
+}
+
+/// Fold a byte chunk into the running hash, 8 bytes at a time. Chunk
+/// boundaries must fall on multiples of 8 (except the final chunk) so
+/// chunked and one-shot hashing agree; [`csum64`] uses 256-byte chunks.
+fn csum_fold(mut h: u64, chunk: &[u8]) -> u64 {
+    let mut words = chunk.chunks_exact(8);
+    for w in &mut words {
+        let v = u64::from_le_bytes(w.try_into().unwrap());
+        h = (h ^ v).wrapping_mul(0x100_0000_01b3).rotate_left(23);
+    }
+    for &b in words.remainder() {
+        h = (h ^ b as u64).wrapping_mul(0x100_0000_01b3);
+    }
+    h
 }
 
 /// Deterministic byte `pos` of the synthetic stream for `seed`.
@@ -114,7 +189,7 @@ pub fn pattern_byte(seed: u64, pos: u64) -> u8 {
 }
 
 #[inline]
-fn daos_splitmix(mut z: u64) -> u64 {
+pub(crate) fn daos_splitmix(mut z: u64) -> u64 {
     z = z.wrapping_add(0x9E37_79B9_7F4A_7C15);
     z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
     z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
