@@ -8,7 +8,7 @@
 
 use std::rc::Rc;
 
-use daos_bench::{check, paper_cluster};
+use daos_bench::{paper_cluster, Reporter};
 use daos_core::DaosClient;
 use daos_dfs::{Dfs, DfsConfig};
 use daos_dfuse::{DfuseConfig, DfuseMount};
@@ -84,6 +84,7 @@ fn run_one(kind: &str, which: Access) -> WorkloadReport {
 }
 
 fn main() {
+    let mut rep = Reporter::new("app_workloads", 0xA99);
     println!("# application workloads on {NODES} client nodes (paper SV future work)");
     println!("workload,access,io_gib_s,effective_gib_s,makespan_ms");
     let mut all = Vec::new();
@@ -98,6 +99,15 @@ fn main() {
                 r.effective_gib_s(),
                 r.makespan.as_us_f64() / 1000.0
             );
+            let series = format!("{}/{}", r.name, r.access.name());
+            rep.record(&series, NODES, "io_gib_s", r.io_gib_s());
+            rep.record(&series, NODES, "effective_gib_s", r.effective_gib_s());
+            rep.record(
+                &series,
+                NODES,
+                "makespan_ms",
+                r.makespan.as_us_f64() / 1000.0,
+            );
             all.push(r);
         }
     }
@@ -109,15 +119,16 @@ fn main() {
             .unwrap()
             .io_gib_s()
     };
-    check(
+    rep.check(
         "file interfaces within 35% of native across all three app workloads",
         ["nwp", "checkpoint", "producer_consumer"].iter().all(|w| {
             by(w, Access::Dfs) > 0.65 * by(w, Access::Native)
                 && by(w, Access::Posix) > 0.65 * by(w, Access::Native)
         }),
     );
-    check(
+    rep.check(
         "pipeline overlap beats phase separation (producer_consumer vs nwp)",
         by("producer_consumer", Access::Dfs) > 0.0 && by("nwp", Access::Dfs) > 0.0,
     );
+    rep.finish();
 }

@@ -1,30 +1,36 @@
 //! Calibration probe: prints the key orderings the paper reports, for
-//! tuning the cost model. Not one of the figure reproductions.
+//! tuning the cost model. Not one of the figure reproductions (no shape
+//! checks), but it still emits `BENCH_calibrate.json` so a calibration
+//! pass can be diffed against an earlier one.
 
-use daos_bench::{print_csv, run_sweep, ExperimentPoint};
-use daos_ior::Api;
+use daos_bench::figures::{figure_apis, grid_points};
+use daos_bench::{print_csv, run_sweep, Reporter};
 use daos_placement::ObjectClass;
 
 fn main() {
-    let apis = [Api::Dfs, Api::Mpiio { collective: false }, Api::Hdf5];
     let classes = [ObjectClass::S1, ObjectClass::S2, ObjectClass::SX];
     let nodes = [1u32, 4, 16];
-    let mut points = Vec::new();
-    for api in apis {
-        for class in classes {
-            for n in nodes {
-                points.push(ExperimentPoint {
-                    api,
-                    oclass: class,
-                    client_nodes: n,
-                });
-            }
-        }
-    }
     let fpp = std::env::args().nth(1).as_deref() != Some("shared");
-    let ms = run_sweep(points, fpp, 16, 0xCA11B);
+    let mut rep = Reporter::new("calibrate", 0xCA11B);
+    let points = grid_points(&figure_apis(), &classes, &nodes);
+    let ms = run_sweep(points, fpp, 16, 0xCA11B, 5);
     print_csv(
         &format!("calibration ({})", if fpp { "fpp" } else { "shared" }),
         &ms,
     );
+    for m in &ms {
+        rep.record(
+            &m.series(),
+            m.point.client_nodes,
+            "write_gib_s",
+            m.report.write_gib_s(),
+        );
+        rep.record(
+            &m.series(),
+            m.point.client_nodes,
+            "read_gib_s",
+            m.report.read_gib_s(),
+        );
+    }
+    rep.finish();
 }

@@ -6,7 +6,8 @@
 //! cargo run -p daos-bench --release --bin daos_api
 //! ```
 
-use daos_bench::{check, print_csv, run_sweep, series_table, ExperimentPoint};
+use daos_bench::figures::grid_points;
+use daos_bench::{print_csv, run_sweep, series_table, Reporter};
 use daos_ior::Api;
 use daos_placement::ObjectClass;
 
@@ -20,22 +21,28 @@ fn main() {
         Api::Posix { il: false },
         Api::Posix { il: true },
     ];
-    let mut points = Vec::new();
-    for api in apis {
-        for n in NODES {
-            points.push(ExperimentPoint {
-                api,
-                oclass: ObjectClass::SX,
-                client_nodes: n,
-            });
-        }
-    }
-    let ms = run_sweep(points, true, PPN, 0xDA05A);
+    let mut rep = Reporter::new("daos_api", 0xDA05A);
+    let points = grid_points(&apis, &[ObjectClass::SX], &NODES);
+    let ms = run_sweep(points, true, PPN, 0xDA05A, 5);
     print_csv("Native DAOS array API vs file interfaces (SX, fpp)", &ms);
+    for m in &ms {
+        rep.record(
+            &m.series(),
+            m.point.client_nodes,
+            "write_gib_s",
+            m.report.write_gib_s(),
+        );
+        rep.record(
+            &m.series(),
+            m.point.client_nodes,
+            "read_gib_s",
+            m.report.read_gib_s(),
+        );
+    }
 
     let wr = series_table(&ms, false);
     let rd = series_table(&ms, true);
-    check(
+    rep.check(
         // 6% tolerance: the native-API runs use fixed object ids, so their
         // placement is one draw rather than the file runs' averaged draws
         "native array API ~= DFS or better (skips namespace metadata)",
@@ -43,17 +50,18 @@ fn main() {
             .iter()
             .all(|n| wr["DAOS-SX"][n] >= 0.94 * wr["DFS-SX"][n]),
     );
-    check(
+    rep.check(
         "interception library recovers DFS-level performance over POSIX",
         NODES.iter().all(|n| {
             wr["POSIX+IL-SX"][n] >= 0.98 * wr["POSIX-SX"][n]
                 && rd["POSIX+IL-SX"][n] >= 0.98 * rd["POSIX-SX"][n]
         }),
     );
-    check(
+    rep.check(
         "every file interface stays within 15% of the native API (bulk I/O)",
         NODES
             .iter()
             .all(|n| wr["POSIX-SX"][n] > 0.85 * wr["DAOS-SX"][n]),
     );
+    rep.finish();
 }

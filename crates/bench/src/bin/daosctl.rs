@@ -5,7 +5,7 @@
 //!               [--nodes N] [--ppn N] [--xfer BYTES] [--block BYTES]
 //!               [--segments N] [--oclass S1|S2|...|SX|RP_2GX|EC_2P1GX]
 //!               [--shared] [--random] [--reorder] [--stonewall-ms N]
-//!               [--verify] [--seed N]
+//!               [--verify] [--seed N] [--json DIR]
 //! daosctl pool  [--nodes N]            # build a cluster, print its layout
 //! daosctl place --oclass CLASS [--count N]   # show placement statistics
 //! ```
@@ -164,6 +164,27 @@ fn cmd_ior(args: &Args) {
         report.read_time,
         report.read_gib_s()
     );
+    // ad-hoc runs can join the machine-readable trail too
+    if let Some(dir) = args.get("json") {
+        let mut bench = daos_bench::report::BenchReport::new("daosctl", seed);
+        bench.config_hash = daos_bench::report::config_hash(&paper_cluster(nodes));
+        let series = format!(
+            "{}-{}-{}",
+            api.name(),
+            oclass.name(),
+            if params.file_per_process {
+                "fpp"
+            } else {
+                "shared"
+            }
+        );
+        bench.record(&series, nodes, "write_gib_s", report.write_gib_s());
+        bench.record(&series, nodes, "read_gib_s", report.read_gib_s());
+        match bench.write_to(std::path::Path::new(dir)) {
+            Ok(path) => eprintln!("wrote {}", path.display()),
+            Err(e) => die(&format!("writing json: {e}")),
+        }
+    }
 }
 
 fn cmd_pool(args: &Args) {

@@ -8,7 +8,7 @@
 //! cargo run -p daos-bench --release --bin dfuse_ablation
 //! ```
 
-use daos_bench::{check, paper_cluster, paper_params};
+use daos_bench::{paper_cluster, paper_params, Reporter};
 use daos_dfs::DfsConfig;
 use daos_dfuse::DfuseConfig;
 use daos_ior::{run, Api, DaosTestbed};
@@ -33,6 +33,7 @@ fn point(dfuse: DfuseConfig, api: Api) -> (f64, f64) {
 }
 
 fn main() {
+    let mut rep = Reporter::new("dfuse_ablation", 0xAB1A);
     println!("# dfuse ablation: {NODES} nodes x {PPN} ppn, S2, fpp, POSIX api");
     println!("variant,write_gib_s,read_gib_s");
     let base = DfuseConfig::default();
@@ -76,6 +77,9 @@ fn main() {
             },
         );
         println!("{name},{w:.3},{r:.3}");
+        let series = name.split(" (").next().unwrap_or(name);
+        rep.record(series, NODES, "write_gib_s", w);
+        rep.record(series, NODES, "read_gib_s", r);
         results.push((*name, w, r));
     }
     let (_, dfs_w, dfs_r) = {
@@ -83,18 +87,21 @@ fn main() {
         ("dfs", w, r)
     };
     println!("native DFS (no fuse at all),{dfs_w:.3},{dfs_r:.3}");
+    rep.record("native-dfs", NODES, "write_gib_s", dfs_w);
+    rep.record("native-dfs", NODES, "read_gib_s", dfs_r);
 
     let w_of = |n: &str| results.iter().find(|(x, _, _)| x.starts_with(n)).unwrap().1;
-    check(
+    rep.check(
         "128KiB request splitting costs real write bandwidth",
         w_of("small requests") < 0.9 * w_of("default"),
     );
-    check(
+    rep.check(
         "a single daemon thread bottlenecks the node",
         w_of("single daemon thread") < 0.8 * w_of("default"),
     );
-    check(
+    rep.check(
         "the interception library matches native DFS",
         (w_of("interception") - dfs_w).abs() / dfs_w < 0.05,
     );
+    rep.finish();
 }

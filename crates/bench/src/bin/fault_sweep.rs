@@ -9,150 +9,20 @@
 //! cargo run -p daos-bench --release --bin fault_sweep
 //! ```
 
-use std::rc::Rc;
-
-use daos_bench::{check, finish, paper_cluster};
-use daos_core::{Cluster, DaosClient, RetryPolicy};
-use daos_placement::{ObjectClass, ObjectId};
-use daos_sim::executor::join_all;
-use daos_sim::fault::FaultAction;
-use daos_sim::time::SimDuration;
-use daos_sim::units::{gib_per_sec, MIB};
-use daos_sim::Sim;
-use daos_vos::Payload;
+use daos_bench::figures::{
+    check_fault_timeline, fault_timeline, record_fault_timeline, FAULT_VICTIM,
+};
+use daos_bench::Reporter;
+use daos_placement::ObjectClass;
+use daos_sim::units::MIB;
 
 const NODES: u32 = 4;
 const PPN: u32 = 8;
 const PER_RANK: u64 = 8 * MIB;
-/// Engine to kill: outside the pool-service replica set (engines 0..3).
-const VICTIM: usize = 5;
-
-/// Bandwidths along the failure timeline, GiB/s.
-struct Timeline {
-    class: ObjectClass,
-    write: f64,
-    healthy: f64,
-    during: f64,
-    rebuilt: f64,
-    reintegrated: f64,
-    map_version: u32,
-    chunks_repaired: u64,
-}
-
-fn sweep(class: ObjectClass) -> Timeline {
-    let mut sim = Sim::new(0xFA17);
-    sim.block_on(move |sim| async move {
-        let cluster = Cluster::build(&sim, paper_cluster(NODES));
-        let ranks = NODES * PPN;
-        let clients: Vec<_> = (0..NODES)
-            .map(|n| {
-                DaosClient::new(Rc::clone(&cluster), n).with_retry(RetryPolicy {
-                    // above healthy queueing delay at this load, small
-                    // enough that a dead engine doesn't stall the sweep
-                    rpc_timeout: SimDuration::from_ms(50),
-                    base_backoff: SimDuration::from_ms(1),
-                    max_backoff: SimDuration::from_ms(16),
-                    max_attempts: 40,
-                })
-            })
-            .collect();
-        let pool = clients[0].connect(&sim).await.expect("connect");
-        pool.create_container(&sim, 1).await.expect("container");
-        // a container handle per client node so traffic originates from
-        // every client rail, as in the IOR runs
-        let mut conts = Vec::new();
-        for c in &clients {
-            let p = c.connect(&sim).await.expect("connect");
-            conts.push(p.open_container(&sim, 1).await.expect("open"));
-        }
-        let arrays: Vec<_> = (0..ranks)
-            .map(|r| {
-                conts[(r / PPN) as usize]
-                    .object(ObjectId::new(0xFA, r as u64), class)
-                    .array(MIB)
-            })
-            .collect();
-
-        // healthy write
-        let t0 = sim.now();
-        let futs: Vec<_> = arrays
-            .iter()
-            .enumerate()
-            .map(|(r, a)| {
-                let a = a.clone();
-                let sim = sim.clone();
-                async move {
-                    for k in 0..PER_RANK / MIB {
-                        a.write(&sim, k * MIB, Payload::pattern(r as u64, MIB))
-                            .await
-                            .expect("write");
-                    }
-                }
-            })
-            .collect();
-        join_all(&sim, futs).await;
-        let write = gib_per_sec(ranks as u64 * PER_RANK, (sim.now() - t0).as_secs_f64());
-
-        let read_all = |sim: Sim, arrays: Vec<daos_core::ArrayHandle>| async move {
-            let t0 = sim.now();
-            let futs: Vec<_> = arrays
-                .into_iter()
-                .map(|a| {
-                    let sim = sim.clone();
-                    async move {
-                        for k in 0..PER_RANK / MIB {
-                            a.read(&sim, k * MIB, MIB).await.expect("read");
-                        }
-                    }
-                })
-                .collect();
-            join_all(&sim, futs).await;
-            gib_per_sec(ranks as u64 * PER_RANK, (sim.now() - t0).as_secs_f64())
-        };
-
-        let healthy = read_all(sim.clone(), arrays.clone()).await;
-
-        // the engine dies; reads immediately after ride timeouts, replica
-        // failover / EC reconstruction, then the heartbeat exclusion
-        cluster.apply_fault(&sim, FaultAction::Crash { node: VICTIM });
-        let during = read_all(sim.clone(), arrays.clone()).await;
-
-        // wait for the exclusion to commit and the rebuild to drain
-        while cluster.pool_map().version() == 1 {
-            clients[0].refresh_pool_map(&sim).await;
-            sim.sleep_ms(5).await;
-        }
-        cluster.quiesce_rebuild(&sim).await;
-        let rebuilt = read_all(sim.clone(), arrays.clone()).await;
-
-        // bring the engine back and reintegrate its targets
-        cluster.apply_fault(&sim, FaultAction::Restart { node: VICTIM });
-        let tpe = cluster.cfg.targets_per_engine;
-        let targets: Vec<u32> = (VICTIM as u32 * tpe..(VICTIM as u32 + 1) * tpe).collect();
-        clients[0]
-            .control(&sim, daos_core::Request::PoolReintegrate { targets })
-            .await
-            .expect("reintegrate");
-        clients[0].refresh_pool_map(&sim).await;
-        cluster.quiesce_rebuild(&sim).await;
-        let reintegrated = read_all(sim.clone(), arrays).await;
-        let map_version = cluster.pool_map().version();
-
-        Timeline {
-            class,
-            write,
-            healthy,
-            during,
-            rebuilt,
-            reintegrated,
-            map_version,
-            chunks_repaired: cluster.rebuild_stats().chunks_repaired,
-        }
-    })
-}
 
 fn main() {
-    println!("# fault sweep: {NODES} client nodes, {PPN} ppn, engine {VICTIM} crashes");
+    let mut rep = Reporter::new("fault_sweep", 0xFA17);
+    println!("# fault sweep: {NODES} client nodes, {PPN} ppn, engine {FAULT_VICTIM} crashes");
     println!("class,write_gib_s,read_healthy,read_during_failure,read_after_rebuild,read_after_reintegration,map_version,chunks_repaired");
     let classes = [
         ObjectClass::RP_2GX,
@@ -164,7 +34,7 @@ fn main() {
     ];
     let mut rows = Vec::new();
     for class in classes {
-        let t = sweep(class);
+        let t = fault_timeline(class, NODES, PPN, PER_RANK);
         println!(
             "{},{:.3},{:.3},{:.3},{:.3},{:.3},{},{}",
             t.class,
@@ -176,37 +46,11 @@ fn main() {
             t.map_version,
             t.chunks_repaired,
         );
+        record_fault_timeline(rep.report_mut(), &t);
         rows.push(t);
     }
     for t in &rows {
-        check(
-            &format!(
-                "{}: failure detected, exclusion committed, data repaired",
-                t.class
-            ),
-            t.map_version >= 2 && t.chunks_repaired > 0,
-        );
-        check(
-            &format!(
-                "{}: reads survive the failure window (degraded vs healthy)",
-                t.class
-            ),
-            t.during > 0.0 && t.during < t.healthy,
-        );
-        check(
-            &format!(
-                "{}: post-rebuild bandwidth recovers to >60% of healthy",
-                t.class
-            ),
-            t.rebuilt > 0.6 * t.healthy,
-        );
-        check(
-            &format!(
-                "{}: reintegration restores >60% of healthy bandwidth",
-                t.class
-            ),
-            t.reintegrated > 0.6 * t.healthy,
-        );
+        check_fault_timeline(&mut rep, t);
     }
-    finish();
+    rep.finish();
 }

@@ -8,32 +8,16 @@
 //! cargo run -p daos-bench --release --bin fig1_fpp -- write   # Fig 1(b)
 //! ```
 //!
-//! Ends with PASS/FAIL self-checks of the paper's qualitative claims.
+//! Ends with PASS/FAIL self-checks of the paper's qualitative claims and
+//! writes `results/BENCH_fig1_fpp.json` for the regression harness.
 
-use daos_bench::{check, print_ascii_chart, print_csv, run_sweep, series_table, ExperimentPoint};
-use daos_ior::Api;
-use daos_placement::ObjectClass;
-
-const NODES: [u32; 5] = [1, 2, 4, 8, 16];
-const PPN: u32 = 16;
+use daos_bench::figures::{run_fig1, FULL_NODES, FULL_REPEATS};
+use daos_bench::{print_ascii_chart, print_csv, series_table, Reporter};
 
 fn main() {
     let phase = std::env::args().nth(1);
-    let apis = [Api::Dfs, Api::Mpiio { collective: false }, Api::Hdf5];
-    let classes = [ObjectClass::S1, ObjectClass::S2, ObjectClass::SX];
-    let mut points = Vec::new();
-    for api in apis {
-        for class in classes {
-            for n in NODES {
-                points.push(ExperimentPoint {
-                    api,
-                    oclass: class,
-                    client_nodes: n,
-                });
-            }
-        }
-    }
-    let ms = run_sweep(points, true, PPN, 0xF161);
+    let mut rep = Reporter::new("fig1_fpp", 0xF161);
+    let ms = run_fig1(rep.report_mut(), &FULL_NODES, FULL_REPEATS);
     print_csv("Figure 1: IOR file-per-process", &ms);
     if phase.as_deref() != Some("write") {
         print_ascii_chart("Fig 1(a) file-per-process", &ms, true);
@@ -45,35 +29,36 @@ fn main() {
     // ---- qualitative self-checks against the paper -------------------
     let wr = series_table(&ms, false);
     let rd = series_table(&ms, true);
-    let top = *NODES.last().unwrap();
+    let top = *FULL_NODES.last().unwrap();
 
-    check(
+    rep.check(
         "R2a: SX gives the best write bandwidth at the largest scale",
         wr["DFS-SX"][&top] > wr["DFS-S2"][&top] && wr["DFS-SX"][&top] > wr["DFS-S1"][&top],
     );
-    check(
+    rep.check(
         "R2b: SX writes are slower than S2 for few writers (1 node)",
         wr["DFS-SX"][&1] < wr["DFS-S2"][&1],
     );
-    check(
+    rep.check(
         "R1: S2 reads beat SX reads at the largest scale",
         rd["DFS-S2"][&top] > rd["DFS-SX"][&top],
     );
-    check(
+    rep.check(
         "R3a: MPI-IO over DFuse is close to the DFS API (write, all scales)",
-        NODES.iter().all(|n| {
+        FULL_NODES.iter().all(|n| {
             let ratio = wr["MPIIO-S2"][n] / wr["DFS-S2"][n];
             ratio > 0.9 && ratio < 1.1
         }),
     );
-    check(
+    rep.check(
         "R3b: HDF5 over DFuse is below DFS/MPI-IO (write, small scales)",
         wr["HDF5-S1"][&1] < 0.95 * wr["MPIIO-S1"][&1]
             && wr["HDF5-S1"][&4] < 0.97 * wr["MPIIO-S1"][&4],
     );
-    check(
+    rep.check(
         "R3c: HDF5 over DFuse is below DFS/MPI-IO (read, small scales)",
         rd["HDF5-S1"][&1] < 0.95 * rd["MPIIO-S1"][&1]
             && rd["HDF5-S1"][&4] < 0.97 * rd["MPIIO-S1"][&4],
     );
+    rep.finish();
 }

@@ -7,30 +7,13 @@
 //! cargo run -p daos-bench --release --bin fig2_shared -- write   # Fig 2(b)
 //! ```
 
-use daos_bench::{check, print_ascii_chart, print_csv, run_sweep, series_table, ExperimentPoint};
-use daos_ior::Api;
-use daos_placement::ObjectClass;
-
-const NODES: [u32; 5] = [1, 2, 4, 8, 16];
-const PPN: u32 = 16;
+use daos_bench::figures::{run_fig2, FULL_NODES, FULL_REPEATS};
+use daos_bench::{print_ascii_chart, print_csv, series_table, Reporter};
 
 fn main() {
     let phase = std::env::args().nth(1);
-    let apis = [Api::Dfs, Api::Mpiio { collective: false }, Api::Hdf5];
-    let classes = [ObjectClass::S1, ObjectClass::S2, ObjectClass::SX];
-    let mut points = Vec::new();
-    for api in apis {
-        for class in classes {
-            for n in NODES {
-                points.push(ExperimentPoint {
-                    api,
-                    oclass: class,
-                    client_nodes: n,
-                });
-            }
-        }
-    }
-    let ms = run_sweep(points, false, PPN, 0xF162);
+    let mut rep = Reporter::new("fig2_shared", 0xF162);
+    let ms = run_fig2(rep.report_mut(), &FULL_NODES, FULL_REPEATS);
     print_csv("Figure 2: IOR shared-file", &ms);
     if phase.as_deref() != Some("write") {
         print_ascii_chart("Fig 2(a) shared-file", &ms, true);
@@ -42,30 +25,31 @@ fn main() {
     // ---- qualitative self-checks against the paper -------------------
     let wr = series_table(&ms, false);
     let rd = series_table(&ms, true);
-    let top = *NODES.last().unwrap();
+    let top = *FULL_NODES.last().unwrap();
 
-    check(
+    rep.check(
         "R4a: the DFS API gives the highest shared-file write bandwidth",
         wr["DFS-SX"][&top] >= wr["MPIIO-SX"][&top] && wr["DFS-SX"][&top] >= wr["HDF5-SX"][&top],
     );
-    check(
+    rep.check(
         "R4b: interfaces are similar for the shared file (write, SX, ±15%)",
         {
             let base = wr["DFS-SX"][&top];
             wr["MPIIO-SX"][&top] > 0.85 * base && wr["HDF5-SX"][&top] > 0.85 * base
         },
     );
-    check(
+    rep.check(
         "R4c: MPI-IO and HDF5 over DFuse give good shared reads (±15% of DFS)",
         {
             let base = rd["DFS-SX"][&top];
             rd["MPIIO-SX"][&top] > 0.85 * base && rd["HDF5-SX"][&top] > 0.85 * base
         },
     );
-    check(
+    rep.check(
         "R5-part: a single shared S1/S2 file bottlenecks on its few targets \
          (why shared files want wide classes)",
         wr["DFS-S1"][&top] < 0.2 * wr["DFS-SX"][&top]
             && wr["DFS-S2"][&top] < 0.35 * wr["DFS-SX"][&top],
     );
+    rep.finish();
 }

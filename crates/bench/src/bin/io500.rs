@@ -6,12 +6,8 @@
 //! cargo run -p daos-bench --release --bin io500 [nodes]
 //! ```
 
-use daos_bench::{paper_cluster, paper_params};
-use daos_dfs::DfsConfig;
-use daos_dfuse::DfuseConfig;
-use daos_ior::{mdtest, run, Api, DaosTestbed, MdBackend};
-use daos_placement::ObjectClass;
-use daos_sim::Sim;
+use daos_bench::figures::run_io500;
+use daos_bench::Reporter;
 
 fn main() {
     let nodes: u32 = std::env::args()
@@ -19,49 +15,19 @@ fn main() {
         .and_then(|s| s.parse().ok())
         .unwrap_or(8);
     let ppn = 16;
-    let mut sim = Sim::new(0x10500);
-    let (easy, hard, md) = sim.block_on(move |sim| async move {
-        let env = DaosTestbed::setup(
-            &sim,
-            paper_cluster(nodes),
-            DfsConfig::default(),
-            DfuseConfig::default(),
-        )
-        .await
-        .expect("testbed");
-        // ior-easy: file-per-process, free choice of class -> S2
-        let easy = run(&sim, &env, {
-            let mut p = paper_params(Api::Dfs, ObjectClass::S2, true, ppn);
-            p.block_size = 16 << 20;
-            p
-        })
-        .await
-        .expect("ior easy");
-        // ior-hard: single shared file -> SX
-        let hard = run(&sim, &env, {
-            let mut p = paper_params(Api::Dfs, ObjectClass::SX, false, ppn);
-            p.block_size = 16 << 20;
-            p
-        })
-        .await
-        .expect("ior hard");
-        // mdtest-easy through the native DFS API
-        let md = mdtest(&sim, &env, MdBackend::Dfs, ppn, 48)
-            .await
-            .expect("mdtest");
-        (easy, hard, md)
-    });
+    let mut rep = Reporter::new("io500", 0x10500);
+    let r = run_io500(rep.report_mut(), nodes, ppn);
 
     let bw = [
-        ("ior-easy-write", easy.write_gib_s()),
-        ("ior-easy-read", easy.read_gib_s()),
-        ("ior-hard-write", hard.write_gib_s()),
-        ("ior-hard-read", hard.read_gib_s()),
+        ("ior-easy-write", r.easy.write_gib_s()),
+        ("ior-easy-read", r.easy.read_gib_s()),
+        ("ior-hard-write", r.hard.write_gib_s()),
+        ("ior-hard-read", r.hard.read_gib_s()),
     ];
     let md_rates = [
-        ("mdtest-create", md.creates_per_s() / 1000.0),
-        ("mdtest-stat", md.stats_per_s() / 1000.0),
-        ("mdtest-delete", md.unlinks_per_s() / 1000.0),
+        ("mdtest-create", r.md.creates_per_s() / 1000.0),
+        ("mdtest-stat", r.md.stats_per_s() / 1000.0),
+        ("mdtest-delete", r.md.unlinks_per_s() / 1000.0),
     ];
     println!("# io500-style run: {nodes} client nodes x {ppn} ppn");
     for (n, v) in &bw {
@@ -70,11 +36,16 @@ fn main() {
     for (n, v) in &md_rates {
         println!("{n:18} {v:10.3} kIOPS");
     }
-    let geo = |vals: &[f64]| (vals.iter().map(|v| v.ln()).sum::<f64>() / vals.len() as f64).exp();
-    let bw_score = geo(&bw.iter().map(|(_, v)| *v).collect::<Vec<_>>());
-    let md_score = geo(&md_rates.iter().map(|(_, v)| *v).collect::<Vec<_>>());
-    let total = (bw_score * md_score).sqrt();
-    println!("\nbw score  {bw_score:8.3} GiB/s (geometric mean)");
-    println!("md score  {md_score:8.3} kIOPS   (geometric mean)");
-    println!("io500     {total:8.3}");
+    println!("\nbw score  {:8.3} GiB/s (geometric mean)", r.bw_score);
+    println!("md score  {:8.3} kIOPS   (geometric mean)", r.md_score);
+    println!("io500     {:8.3}", r.total);
+    rep.check(
+        "composite score is finite and positive",
+        r.total.is_finite() && r.total > 0.0,
+    );
+    rep.check(
+        "ior-hard tracks ior-easy on DAOS (the paper's headline, IO500 form)",
+        r.hard.write_gib_s() > 0.5 * r.easy.write_gib_s(),
+    );
+    rep.finish();
 }

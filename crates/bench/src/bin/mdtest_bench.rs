@@ -7,7 +7,7 @@
 //! cargo run -p daos-bench --release --bin mdtest_bench
 //! ```
 
-use daos_bench::{check, paper_cluster};
+use daos_bench::{paper_cluster, Reporter};
 use daos_dfs::DfsConfig;
 use daos_dfuse::DfuseConfig;
 use daos_ior::{mdtest, mdtest_pfs, DaosTestbed, MdBackend, MdtestReport};
@@ -48,6 +48,7 @@ fn pfs_md() -> MdtestReport {
 }
 
 fn main() {
+    let mut rep = Reporter::new("mdtest_bench", 0x3D7);
     let dfs = daos_md(MdBackend::Dfs);
     let dfuse = daos_md(MdBackend::Dfuse);
     let pfs = pfs_md();
@@ -60,14 +61,18 @@ fn main() {
             r.stats_per_s(),
             r.unlinks_per_s()
         );
+        rep.record(name, NODES, "create_per_s", r.creates_per_s());
+        rep.record(name, NODES, "stat_per_s", r.stats_per_s());
+        rep.record(name, NODES, "unlink_per_s", r.unlinks_per_s());
     }
-    check(
+    rep.check(
         "DAOS metadata rates scale past the single-MDS PFS",
         dfs.creates_per_s() > 2.0 * pfs.creates_per_s()
             && dfs.stats_per_s() > 2.0 * pfs.stats_per_s(),
     );
-    check(
+    rep.check(
         "DFuse adds overhead over native DFS but stays well above the PFS",
         dfuse.creates_per_s() <= dfs.creates_per_s() && dfuse.creates_per_s() > pfs.creates_per_s(),
     );
+    rep.finish();
 }

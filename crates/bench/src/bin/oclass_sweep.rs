@@ -6,7 +6,8 @@
 //! cargo run -p daos-bench --release --bin oclass_sweep
 //! ```
 
-use daos_bench::{check, print_csv, run_sweep, series_table, ExperimentPoint};
+use daos_bench::figures::grid_points;
+use daos_bench::{print_csv, run_sweep, series_table, Reporter};
 use daos_ior::Api;
 use daos_placement::ObjectClass;
 
@@ -21,29 +22,36 @@ fn main() {
         ObjectClass::S8,
         ObjectClass::SX,
     ];
-    let mut points = Vec::new();
-    for class in classes {
-        for n in NODES {
-            points.push(ExperimentPoint {
-                api: Api::Dfs,
-                oclass: class,
-                client_nodes: n,
-            });
-        }
-    }
-    let ms = run_sweep(points, true, PPN, 0x0C1A);
+    let mut rep = Reporter::new("oclass_sweep", 0x0C1A);
+    let points = grid_points(&[Api::Dfs], &classes, &NODES);
+    let ms = run_sweep(points, true, PPN, 0x0C1A, 5);
     print_csv("Object-class sweep (DFS, file-per-process)", &ms);
+    for m in &ms {
+        rep.record(
+            &m.series(),
+            m.point.client_nodes,
+            "write_gib_s",
+            m.report.write_gib_s(),
+        );
+        rep.record(
+            &m.series(),
+            m.point.client_nodes,
+            "read_gib_s",
+            m.report.read_gib_s(),
+        );
+    }
 
     let wr = series_table(&ms, false);
-    check(
+    rep.check(
         "sharding degree interpolates: S1 <= S4 <= SX write at 16 nodes (±10%)",
         wr["DFS-S1"][&16] <= wr["DFS-S4"][&16] * 1.1
             && wr["DFS-S4"][&16] <= wr["DFS-SX"][&16] * 1.1,
     );
-    check(
+    rep.check(
         "every class lands in a sane envelope (1-60 GiB/s write)",
         wr.values()
             .flat_map(|s| s.values())
             .all(|&b| b > 1.0 && b < 60.0),
     );
+    rep.finish();
 }

@@ -7,91 +7,51 @@
 //! cargo run -p daos-bench --release --bin pfs_contrast
 //! ```
 
-use daos_bench::{check, paper_cluster, paper_params};
-use daos_dfs::DfsConfig;
-use daos_dfuse::DfuseConfig;
-use daos_ior::{run, run_pfs, Api, DaosTestbed, IorReport};
-use daos_pfs::{Pfs, PfsConfig};
-use daos_placement::ObjectClass;
-use daos_sim::Sim;
+use daos_bench::figures::run_pfs_contrast;
+use daos_bench::Reporter;
 
 const NODES: [u32; 4] = [1, 4, 8, 16];
-const PPN: u32 = 16;
-
-fn pfs_point(nodes: u32, fpp: bool) -> (IorReport, u64) {
-    let mut sim = Sim::new(0x1F5 ^ nodes as u64);
-    sim.block_on(move |sim| async move {
-        let fs = Pfs::build(PfsConfig {
-            client_nodes: nodes,
-            stripe_count: 4,
-            ..Default::default()
-        });
-        let mut p = paper_params(Api::Posix { il: false }, ObjectClass::S1, fpp, PPN);
-        p.block_size = 16 << 20; // lock ping-pong makes big runs slow
-        let r = run_pfs(&sim, &fs, p).await.expect("pfs run");
-        (r, fs.stats().revokes)
-    })
-}
-
-fn daos_point(nodes: u32, fpp: bool) -> IorReport {
-    let mut sim = Sim::new(0x1F6 ^ nodes as u64);
-    sim.block_on(move |sim| async move {
-        let env = DaosTestbed::setup(
-            &sim,
-            paper_cluster(nodes),
-            DfsConfig::default(),
-            DfuseConfig::default(),
-        )
-        .await
-        .expect("testbed");
-        let mut p = paper_params(Api::Dfs, ObjectClass::SX, fpp, PPN);
-        p.block_size = 16 << 20;
-        run(&sim, &env, p).await.expect("daos run")
-    })
-}
 
 fn main() {
+    let mut rep = Reporter::new("pfs_contrast", 0x1F5);
     println!("# PFS contrast: write bandwidth, file-per-process vs shared");
     println!("system,mode,client_nodes,write_gib_s,read_gib_s,lock_revokes");
+    let rows = run_pfs_contrast(rep.report_mut(), &NODES);
     let mut ratios = Vec::new();
-    for n in NODES {
-        let (pfs_fpp, _) = pfs_point(n, true);
-        let (pfs_shared, revokes) = pfs_point(n, false);
-        let daos_fpp = daos_point(n, true);
-        let daos_shared = daos_point(n, false);
+    for row in &rows {
+        let n = row.nodes;
         println!(
             "pfs,fpp,{n},{:.3},{:.3},0",
-            pfs_fpp.write_gib_s(),
-            pfs_fpp.read_gib_s()
+            row.pfs_fpp.write_gib_s(),
+            row.pfs_fpp.read_gib_s()
         );
         println!(
-            "pfs,shared,{n},{:.3},{:.3},{revokes}",
-            pfs_shared.write_gib_s(),
-            pfs_shared.read_gib_s()
+            "pfs,shared,{n},{:.3},{:.3},{}",
+            row.pfs_shared.write_gib_s(),
+            row.pfs_shared.read_gib_s(),
+            row.revokes
         );
         println!(
             "daos,fpp,{n},{:.3},{:.3},0",
-            daos_fpp.write_gib_s(),
-            daos_fpp.read_gib_s()
+            row.daos_fpp.write_gib_s(),
+            row.daos_fpp.read_gib_s()
         );
         println!(
             "daos,shared,{n},{:.3},{:.3},0",
-            daos_shared.write_gib_s(),
-            daos_shared.read_gib_s()
+            row.daos_shared.write_gib_s(),
+            row.daos_shared.read_gib_s()
         );
-        ratios.push((
-            n,
-            pfs_shared.write_gib_s() / pfs_fpp.write_gib_s(),
-            daos_shared.write_gib_s() / daos_fpp.write_gib_s(),
-        ));
+        let (pfs, daos) = row.ratios();
+        ratios.push((n, pfs, daos));
     }
     println!("\nshared/fpp write ratio (1.0 = no shared-file penalty):");
     for (n, pfs, daos) in &ratios {
         println!("  {n:>2} nodes: pfs {pfs:.2}  daos {daos:.2}");
     }
     let (_, pfs16, daos16) = ratios.last().unwrap();
-    check(
+    rep.check(
         "R5: on DAOS shared ~= fpp while the PFS collapses on shared writes",
         *daos16 > 0.8 && *pfs16 < 0.5,
     );
+    rep.finish();
 }

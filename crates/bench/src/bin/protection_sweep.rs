@@ -7,7 +7,7 @@
 //! cargo run -p daos-bench --release --bin protection_sweep
 //! ```
 
-use daos_bench::{check, paper_cluster, paper_params};
+use daos_bench::{paper_cluster, paper_params, Reporter};
 use daos_dfs::DfsConfig;
 use daos_dfuse::DfuseConfig;
 use daos_ior::{run, Api, DaosTestbed};
@@ -106,6 +106,7 @@ fn degraded_point(class: ObjectClass, exclude: &[u32]) -> (f64, f64) {
 }
 
 fn main() {
+    let mut rep = Reporter::new("protection_sweep", 0x930);
     println!("# protection ablation: {NODES} client nodes, {PPN} ppn, DFS, fpp");
     println!("class,write_gib_s,read_gib_s,amplification");
     let classes = [
@@ -123,6 +124,8 @@ fn main() {
     for class in classes {
         let (w, r) = point(class);
         println!("{class},{w:.3},{r:.3},{:.2}", class.write_amplification());
+        rep.record(&class.to_string(), NODES, "write_gib_s", w);
+        rep.record(&class.to_string(), NODES, "read_gib_s", r);
         healthy.push((class, w, r));
     }
 
@@ -132,16 +135,23 @@ fn main() {
     for class in [ObjectClass::RP_2GX, ObjectClass::EC_2P1GX] {
         let (h, d) = degraded_point(class, &[0]);
         println!("{class},{h:.3},{d:.3}");
+        rep.record(&format!("{class}/degraded"), NODES, "healthy_read_gib_s", h);
+        rep.record(
+            &format!("{class}/degraded"),
+            NODES,
+            "degraded_read_gib_s",
+            d,
+        );
         degraded.push((class, h, d));
     }
 
     let w_of = |c: ObjectClass| healthy.iter().find(|(x, _, _)| *x == c).unwrap().1;
-    check(
+    rep.check(
         "replication costs ~its amplification factor in write bandwidth",
         w_of(ObjectClass::RP_2GX) < 0.75 * w_of(ObjectClass::SX)
             && w_of(ObjectClass::RP_2GX) > 0.3 * w_of(ObjectClass::SX),
     );
-    check(
+    rep.check(
         // real DAOS guidance: EC suits large transfers; per-stripe parity
         // rounds make it slower than replication below saturation even at
         // lower amplification
@@ -152,8 +162,9 @@ fn main() {
                 groups: None,
             }) < w_of(ObjectClass::RP_2GX),
     );
-    check(
+    rep.check(
         "degraded reads stay within 2.5x of healthy (redundancy works)",
         degraded.iter().all(|(_, h, d)| *d > 0.0 && h / d < 2.5),
     );
+    rep.finish();
 }

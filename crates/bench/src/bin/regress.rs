@@ -1,0 +1,264 @@
+//! **Benchmark regression harness** — the CI perf gate.
+//!
+//! Runs a reduced-scale sweep of every figure the paper's findings rest
+//! on, diffs each fresh `BENCH_<name>.json` against the committed
+//! baselines in `results/baselines/`, evaluates the R1–R5 invariants and
+//! the robustness timeline checks, prints a per-metric drift table, and
+//! exits nonzero on any tolerance or invariant violation. The simulator
+//! is deterministic, so an unchanged tree reproduces its baselines
+//! exactly; any PR that moves a figure must either stay inside the
+//! tolerance bands or update the baselines *intentionally*.
+//!
+//! ```text
+//! cargo run -p daos-bench --release --bin regress             # gate
+//! cargo run -p daos-bench --release --bin regress -- --update # new baselines
+//! cargo run -p daos-bench --release --bin regress -- --verbose
+//! cargo run -p daos-bench --release --bin regress -- --compare-only
+//! ```
+//!
+//! `--compare-only` skips the sweep and re-diffs the fresh reports
+//! already sitting in the output dir (from a previous run) against the
+//! baselines — handy for iterating on tolerances or baselines without
+//! paying for simulations. Timeline *shape* checks need the live runs,
+//! so that mode covers drift + invariants + checksum ratios only.
+//!
+//! Fresh reports and the drift table are also written to
+//! `$DAOS_BENCH_OUT` (default `target/regress/`) so CI can upload them as
+//! artifacts.
+
+use std::path::{Path, PathBuf};
+use std::time::Instant;
+
+use daos_bench::baseline::{compare, format_drift_table, violations, TolerancePolicy};
+use daos_bench::figures::{
+    check_fault_timeline, check_rot_timeline, csum_overhead_point, fault_timeline,
+    record_fault_timeline, record_rot_timeline, rot_timeline, run_fig1, run_fig2, run_io500,
+    run_pfs_contrast, REDUCED_NODES, REDUCED_REPEATS,
+};
+use daos_bench::invariants::evaluate_all;
+use daos_bench::report::BenchReport;
+use daos_bench::Reporter;
+use daos_placement::ObjectClass;
+use daos_sim::units::MIB;
+
+const BASELINE_DIR: &str = "results/baselines";
+
+fn out_dir() -> PathBuf {
+    std::env::var("DAOS_BENCH_OUT")
+        .map(PathBuf::from)
+        .unwrap_or_else(|_| PathBuf::from("target/regress"))
+}
+
+/// Run one reduced-scale figure, stamping its wall time.
+fn timed(name: &str, seed: u64, f: impl FnOnce(&mut BenchReport)) -> BenchReport {
+    let t0 = Instant::now();
+    let mut report = BenchReport::new(name, seed);
+    eprintln!("regress: running {name} (reduced scale)...");
+    f(&mut report);
+    report.wall_secs = t0.elapsed().as_secs_f64();
+    report
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let update = args.iter().any(|a| a == "--update");
+    let verbose = args.iter().any(|a| a == "--verbose");
+    let compare_only = args.iter().any(|a| a == "--compare-only");
+    if update && compare_only {
+        eprintln!("regress: --update needs a live sweep; drop --compare-only");
+        std::process::exit(2);
+    }
+    let tol = {
+        let mut t = TolerancePolicy::standard();
+        if let Some(i) = args.iter().position(|a| a == "--tol") {
+            let pct: f64 = args
+                .get(i + 1)
+                .and_then(|v| v.parse().ok())
+                .unwrap_or_else(|| {
+                    eprintln!("regress: bad --tol (percent)");
+                    std::process::exit(2);
+                });
+            t.default_rel = pct / 100.0;
+        }
+        t
+    };
+
+    // gating ledger for the invariant + robustness shape checks; the
+    // drift comparison below contributes separately
+    let mut rep = Reporter::new("regress", 0);
+
+    // ---- reduced-scale sweep of every figure -------------------------
+    let out = out_dir();
+    let mut fault_rows = Vec::new();
+    let mut rot_rows = Vec::new();
+    let (fig1, fig2, pfs, io500, fault, scrub);
+    if compare_only {
+        let load = |name: &str| {
+            BenchReport::load(&out, name).unwrap_or_else(|e| {
+                eprintln!("regress: --compare-only needs a prior run's reports in {}: {e}", out.display());
+                std::process::exit(2);
+            })
+        };
+        fig1 = load("fig1_fpp");
+        fig2 = load("fig2_shared");
+        pfs = load("pfs_contrast");
+        io500 = load("io500");
+        fault = load("fault_sweep");
+        scrub = load("scrub_sweep");
+    } else {
+        fig1 = timed("fig1_fpp", 0xF161, |r| {
+            run_fig1(r, &REDUCED_NODES, REDUCED_REPEATS);
+        });
+        fig2 = timed("fig2_shared", 0xF162, |r| {
+            run_fig2(r, &REDUCED_NODES, REDUCED_REPEATS);
+        });
+        pfs = timed("pfs_contrast", 0x1F5, |r| {
+            run_pfs_contrast(r, &REDUCED_NODES);
+        });
+        io500 = timed("io500", 0x10500, |r| {
+            run_io500(r, 4, 8);
+        });
+        fault = timed("fault_sweep", 0xFA17, |r| {
+            let t = fault_timeline(ObjectClass::RP_2GX, 2, 4, 4 * MIB);
+            record_fault_timeline(r, &t);
+            fault_rows.push(t);
+        });
+        scrub = timed("scrub_sweep", 0x5C2B, |r| {
+            for fpp in [true, false] {
+                let label = if fpp {
+                    "easy-fpp-1m"
+                } else {
+                    "hard-shared-64k"
+                };
+                let (w_on, r_on) = csum_overhead_point(true, fpp, 2, 4);
+                let (w_off, r_off) = csum_overhead_point(false, fpp, 2, 4);
+                for (metric, v) in [
+                    ("write_csum_on", w_on),
+                    ("write_csum_off", w_off),
+                    ("read_csum_on", r_on),
+                    ("read_csum_off", r_off),
+                ] {
+                    r.record(label, 2, metric, v);
+                }
+            }
+            for scrub_mode in [false, true] {
+                let t = rot_timeline(ObjectClass::RP_2GX, scrub_mode, 0x5C2B ^ scrub_mode as u64);
+                record_rot_timeline(r, &t);
+                rot_rows.push(t);
+            }
+        });
+    }
+    let fresh = [&fig1, &fig2, &pfs, &io500, &fault, &scrub];
+
+    // ---- persist fresh reports for CI artifacts ----------------------
+    if !compare_only {
+        for report in fresh {
+            if let Err(e) = report.write_to(&out) {
+                eprintln!("regress: cannot write {}: {e}", out.display());
+                std::process::exit(2);
+            }
+        }
+    }
+
+    if update {
+        let dir = Path::new(BASELINE_DIR);
+        for report in fresh {
+            match report.write_to(dir) {
+                Ok(path) => println!("baseline updated: {}", path.display()),
+                Err(e) => {
+                    eprintln!("regress: cannot write baseline: {e}");
+                    std::process::exit(2);
+                }
+            }
+        }
+        println!("\nbaselines regenerated — commit {BASELINE_DIR}/BENCH_*.json");
+        std::process::exit(0);
+    }
+
+    // ---- drift vs committed baselines --------------------------------
+    let mut drift_text = String::new();
+    let mut drift_violations = 0usize;
+    println!(
+        "== drift vs {BASELINE_DIR} (default tolerance ±{:.0}%) ==",
+        tol.default_rel * 100.0
+    );
+    for report in fresh {
+        match BenchReport::load(Path::new(BASELINE_DIR), &report.name) {
+            Ok(base) => {
+                if base.seed != report.seed || base.config_hash != report.config_hash {
+                    println!(
+                        "-- {}: provenance changed (seed {} -> {}, config_hash {:#x} -> {:#x}) — update baselines intentionally --",
+                        report.name, base.seed, report.seed, base.config_hash, report.config_hash
+                    );
+                    drift_violations += 1;
+                }
+                let drifts = compare(report, &base, &tol);
+                drift_violations += violations(&drifts);
+                let table = format_drift_table(&report.name, &drifts, verbose);
+                print!("{table}");
+                drift_text.push_str(&format_drift_table(&report.name, &drifts, true));
+            }
+            Err(e) => {
+                println!(
+                    "-- {}: no baseline ({e}) — run `regress --update` and commit --",
+                    report.name
+                );
+                drift_violations += 1;
+            }
+        }
+    }
+    let _ = std::fs::write(out.join("drift.txt"), &drift_text);
+
+    // ---- the paper's R1-R5 invariants --------------------------------
+    println!("\n== paper invariants (R1-R5) ==");
+    for inv in evaluate_all(&fig1, &fig2, &pfs) {
+        rep.check(
+            &format!("{}: {} — {}", inv.id, inv.desc, inv.detail),
+            inv.pass,
+        );
+    }
+
+    // ---- robustness shape checks (reduced fault + scrub timelines) ---
+    println!("\n== robustness checks ==");
+    if compare_only {
+        println!("(timeline shape checks skipped: no live sweep in --compare-only)");
+    }
+    for t in &fault_rows {
+        check_fault_timeline(&mut rep, t);
+    }
+    for t in &rot_rows {
+        check_rot_timeline(&mut rep, t);
+    }
+    for report in [&scrub] {
+        for label in ["easy-fpp-1m", "hard-shared-64k"] {
+            for phase in ["write", "read"] {
+                let on = report.get(label, 2, &format!("{phase}_csum_on"));
+                let off = report.get(label, 2, &format!("{phase}_csum_off"));
+                let ratio = match (on, off) {
+                    (Some(on), Some(off)) if off > 0.0 => on / off,
+                    _ => 0.0,
+                };
+                rep.check(
+                    &format!(
+                        "{label}: csum-on {phase} bandwidth within 10% of csum-off ({ratio:.3})"
+                    ),
+                    ratio >= 0.90,
+                );
+            }
+        }
+    }
+
+    // ---- verdict -----------------------------------------------------
+    let check_failures = rep.failures();
+    println!(
+        "\nregress: {drift_violations} drift violation(s), {check_failures} invariant/shape failure(s)"
+    );
+    if drift_violations > 0 || check_failures > 0 {
+        eprintln!(
+            "regress: FAILED — see drift table above (artifacts in {})",
+            out.display()
+        );
+        std::process::exit(1);
+    }
+    println!("regress: OK — figures match baselines and all invariants hold");
+}

@@ -11,164 +11,14 @@
 //! cargo run -p daos-bench --release --bin scrub_sweep
 //! ```
 
-use std::rc::Rc;
-
-use daos_bench::{check, finish, paper_cluster};
-use daos_core::{Cluster, ClusterConfig, DaosClient};
-use daos_dfs::DfsConfig;
-use daos_dfuse::DfuseConfig;
-use daos_ior::{run, Api, DaosTestbed, IorParams};
-use daos_placement::{ObjectClass, ObjectId};
-use daos_sim::fault::FaultAction;
-use daos_sim::time::SimDuration;
-use daos_sim::units::{KIB, MIB};
-use daos_sim::Sim;
-use daos_vos::Payload;
+use daos_bench::figures::{
+    check_rot_timeline, csum_overhead_point, record_rot_timeline, rot_timeline,
+};
+use daos_bench::Reporter;
+use daos_placement::ObjectClass;
 
 const NODES: u32 = 2;
 const PPN: u32 = 4;
-
-/// One IOR run (easy = file-per-process 1 MiB, hard = shared 64 KiB)
-/// with the checksum engine on or off; scrubber disabled so the ratio
-/// isolates the verify-on-write / csum-on-fetch cost.
-fn ior_bw(csum: bool, fpp: bool) -> (f64, f64) {
-    let mut sim = Sim::new(0x5C2B);
-    sim.block_on(move |sim| async move {
-        let mut cfg = paper_cluster(NODES);
-        cfg.engine.vos.csum_enabled = csum;
-        cfg.engine.scrub_interval = None;
-        let env = DaosTestbed::setup(&sim, cfg, DfsConfig::default(), DfuseConfig::default())
-            .await
-            .expect("testbed");
-        let mut p = IorParams::paper_default(Api::Dfs, ObjectClass::S2, fpp, PPN);
-        p.block_size = 8 * MIB;
-        if !fpp {
-            p.transfer_size = 64 * KIB;
-        }
-        let r = run(&sim, &env, p).await.expect("ior");
-        (r.write_gib_s(), r.read_gib_s())
-    })
-}
-
-/// One rot-injection timeline measurement.
-struct TimelineRow {
-    class: ObjectClass,
-    mode: &'static str,
-    rot_extents: u64,
-    detect_ms: f64,
-    reported: u64,
-    repairs_ok: u64,
-    /// Every byte read back equal to what was written.
-    equal: bool,
-    /// The rotted target verifies clean after repairs (scrub mode only:
-    /// client-triggered repair only heals the copies reads chose).
-    clean: bool,
-}
-
-/// Write 2 MiB at full redundancy, rot every extent on the busiest
-/// target, then detect either through a client read (`scrub = false`) or
-/// by leaving the cluster idle so only the background scrubber can find
-/// it (`scrub = true`).
-fn rot_timeline(class: ObjectClass, scrub: bool, seed: u64) -> TimelineRow {
-    let mut sim = Sim::new(seed);
-    sim.block_on(move |sim| async move {
-        let mut cfg = ClusterConfig::tiny(1);
-        cfg.server_nodes = 4;
-        cfg.targets_per_engine = 2;
-        cfg.engine.scrub_interval = scrub.then(|| SimDuration::from_ms(5));
-        cfg.engine.scrub_chunks = 64;
-        let tpe = cfg.targets_per_engine;
-        let cluster = Cluster::build(&sim, cfg);
-        let client = DaosClient::new(Rc::clone(&cluster), 0);
-        let pool = client.connect(&sim).await.expect("connect");
-        let cont = pool.create_container(&sim, 1).await.expect("container");
-        let arr = cont.object(ObjectId::new(0x5C, 1), class).array(64 * KIB);
-        let data = Payload::pattern(29, 2 * MIB);
-        arr.write(&sim, 0, data.clone()).await.expect("write");
-
-        // replica choice is deterministic per chunk, so a priming read
-        // tells us exactly which copies client reads fetch; rot the target
-        // serving the most of them so the client-read mode actually
-        // touches the damage (scrub mode ignores the distinction)
-        let before: Vec<u64> = (0..cluster.cfg.engine_count() * tpe)
-            .map(|t| cluster.engine(t / tpe).target(t % tpe).counters().fetches)
-            .collect();
-        arr.read_bytes(&sim, 0, 2 * MIB).await.expect("prime read");
-        let victim = (0..cluster.cfg.engine_count() * tpe)
-            .max_by_key(|&t| {
-                cluster.engine(t / tpe).target(t % tpe).counters().fetches - before[t as usize]
-            })
-            .unwrap();
-        let t_rot = sim.now().as_ns();
-        cluster.apply_fault(
-            &sim,
-            FaultAction::BitRot {
-                target: victim as usize,
-                fraction_ppm: 1_000_000,
-            },
-        );
-        let rot_extents = cluster.corruption_stats().rot_injected;
-
-        let mut equal = true;
-        if scrub {
-            // zero client traffic: only the scrubber can find the rot
-            for _ in 0..100 {
-                sim.sleep_ms(5).await;
-                if cluster.corruption_stats().reported > 0 {
-                    break;
-                }
-            }
-        } else {
-            // reads that land on the rotten copies fail over / reconstruct
-            let got = arr.read_bytes(&sim, 0, 2 * MIB).await.expect("read");
-            equal = got == data.materialize().to_vec();
-        }
-        let detect_ms = cluster
-            .corruption_stats()
-            .first_report_ns
-            .map(|t| (t.saturating_sub(t_rot)) as f64 / 1e6)
-            .unwrap_or(f64::NAN);
-        cluster.quiesce_repairs(&sim).await;
-
-        // in scrub mode the scrubber keeps finding what repairs haven't
-        // reached yet: iterate until a full manual pass over the victim
-        // verifies clean (client mode leaves unread copies rotten)
-        let mut clean = false;
-        if scrub {
-            let tgt = cluster.engine(victim / tpe).target(victim % tpe);
-            for _ in 0..40 {
-                sim.sleep_ms(10).await;
-                cluster.quiesce_repairs(&sim).await;
-                let mut findings = 0u64;
-                loop {
-                    let r = tgt.scrub_step(&sim, 1024).await;
-                    findings += r.findings.len() as u64;
-                    if r.wrapped {
-                        break;
-                    }
-                }
-                if findings == 0 {
-                    clean = true;
-                    break;
-                }
-            }
-            let got = arr.read_bytes(&sim, 0, 2 * MIB).await.expect("read");
-            equal = got == data.materialize().to_vec();
-        }
-
-        let st = cluster.corruption_stats();
-        TimelineRow {
-            class,
-            mode: if scrub { "scrubber" } else { "client-read" },
-            rot_extents,
-            detect_ms,
-            reported: st.reported,
-            repairs_ok: st.repairs_ok,
-            equal,
-            clean,
-        }
-    })
-}
 
 fn main() {
     let ec = ObjectClass::ErasureCoded {
@@ -176,6 +26,7 @@ fn main() {
         parity: 1,
         groups: None,
     };
+    let mut rep = Reporter::new("scrub_sweep", 0x5C2B);
 
     println!("# scrub sweep A: checksum overhead, {NODES} client nodes, {PPN} ppn");
     println!("pattern,csum,write_gib_s,read_gib_s");
@@ -186,10 +37,18 @@ fn main() {
         } else {
             "hard-shared-64k"
         };
-        let (w_on, r_on) = ior_bw(true, fpp);
-        let (w_off, r_off) = ior_bw(false, fpp);
+        let (w_on, r_on) = csum_overhead_point(true, fpp, NODES, PPN);
+        let (w_off, r_off) = csum_overhead_point(false, fpp, NODES, PPN);
         println!("{label},on,{w_on:.3},{r_on:.3}");
         println!("{label},off,{w_off:.3},{r_off:.3}");
+        for (metric, v) in [
+            ("write_csum_on", w_on),
+            ("write_csum_off", w_off),
+            ("read_csum_on", r_on),
+            ("read_csum_off", r_off),
+        ] {
+            rep.record(label, NODES, metric, v);
+        }
         ratios.push((label, "write", w_on / w_off));
         ratios.push((label, "read", r_on / r_off));
     }
@@ -211,38 +70,19 @@ fn main() {
                 t.equal,
                 t.clean,
             );
+            record_rot_timeline(rep.report_mut(), &t);
             rows.push(t);
         }
     }
 
     for (label, phase, ratio) in &ratios {
-        check(
+        rep.check(
             &format!("{label}: csum-on {phase} bandwidth within 10% of csum-off ({ratio:.3})"),
             *ratio >= 0.90,
         );
     }
     for t in &rows {
-        check(
-            &format!("{} {}: rot injected and detected", t.class, t.mode),
-            t.rot_extents > 0 && t.reported > 0 && t.detect_ms.is_finite(),
-        );
-        check(
-            &format!("{} {}: targeted repairs landed", t.class, t.mode),
-            t.repairs_ok > 0,
-        );
-        check(
-            &format!("{} {}: all bytes read back identical", t.class, t.mode),
-            t.equal,
-        );
-        if t.mode == "scrubber" {
-            check(
-                &format!(
-                    "{} {}: rotted target scrubs clean after repair",
-                    t.class, t.mode
-                ),
-                t.clean,
-            );
-        }
+        check_rot_timeline(&mut rep, t);
     }
-    finish();
+    rep.finish();
 }

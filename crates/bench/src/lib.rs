@@ -2,17 +2,27 @@
 //!
 //! Each binary in `src/bin/` regenerates one figure or table from
 //! *DAOS as HPC Storage: Exploring Interfaces* (CLUSTER 2023); this library
-//! holds the shared sweep machinery:
+//! holds the shared sweep and reporting machinery:
 //!
 //! * [`ExperimentPoint`] — one (api, object class, client-node count) cell;
 //! * [`run_sweep`] — executes every point, **in parallel across host
 //!   threads** (one deterministic `Sim` per point, fanned out with
 //!   `crossbeam::scope` — simulations are independent, so this is the
 //!   embarrassingly parallel axis);
+//! * [`figures`] — scale-parameterized runners for every figure, shared
+//!   between the full binaries and the reduced-scale `regress` harness;
+//! * [`Reporter`] — per-binary ledger: records metrics into a
+//!   schema-versioned [`report::BenchReport`] (written as
+//!   `BENCH_<name>.json`), counts PASS/FAIL shape checks, and gates the
+//!   process exit code so every binary fails loudly in CI;
+//! * [`baseline`] — tolerance-band comparison against committed baselines;
+//! * [`invariants`] — the paper's R1–R5 qualitative results as
+//!   machine-checked predicates;
 //! * CSV emission and a terminal ASCII chart so the figure's *shape* is
 //!   visible without leaving the shell.
 
 use std::collections::BTreeMap;
+use std::path::PathBuf;
 
 use daos_core::ClusterConfig;
 use daos_dfs::DfsConfig;
@@ -20,6 +30,13 @@ use daos_dfuse::DfuseConfig;
 use daos_ior::{run, Api, DaosTestbed, IorParams, IorReport};
 use daos_placement::ObjectClass;
 use daos_sim::Sim;
+
+pub mod baseline;
+pub mod figures;
+pub mod invariants;
+pub mod report;
+
+use report::BenchReport;
 
 /// One cell of a figure: a full IOR run at one scale.
 #[derive(Clone, Copy, Debug)]
@@ -55,15 +72,18 @@ pub fn paper_params(api: Api, oclass: ObjectClass, fpp: bool, ppn: u32) -> IorPa
     p
 }
 
-/// Number of repetitions (distinct seeds -> distinct placements) averaged
-/// per point, like IOR's `-i` iterations in the paper's runs.
-pub const REPEATS: u64 = 5;
-
 /// Execute one point in a fresh simulation (deterministic per point);
-/// phase times are averaged over [`REPEATS`] placements.
-pub fn run_point(point: ExperimentPoint, fpp: bool, ppn: u32, seed: u64) -> Measurement {
+/// phase times are averaged over `repeats` placements (distinct seeds ->
+/// distinct placements, like IOR's `-i` iterations in the paper's runs).
+pub fn run_point(
+    point: ExperimentPoint,
+    fpp: bool,
+    ppn: u32,
+    seed: u64,
+    repeats: u64,
+) -> Measurement {
     let mut acc: Option<IorReport> = None;
-    for it in 0..REPEATS {
+    for it in 0..repeats {
         let mut sim = Sim::new(seed ^ ((point.client_nodes as u64) << 32) ^ (it << 56));
         let report = sim.block_on(move |sim| async move {
             let env = DaosTestbed::setup_salted(
@@ -88,13 +108,19 @@ pub fn run_point(point: ExperimentPoint, fpp: bool, ppn: u32, seed: u64) -> Meas
         });
     }
     let mut report = acc.unwrap();
-    report.write_time = report.write_time / REPEATS;
-    report.read_time = report.read_time / REPEATS;
+    report.write_time = report.write_time / repeats;
+    report.read_time = report.read_time / repeats;
     Measurement { point, report }
 }
 
 /// Run every point, parallel across host threads, ordered output.
-pub fn run_sweep(points: Vec<ExperimentPoint>, fpp: bool, ppn: u32, seed: u64) -> Vec<Measurement> {
+pub fn run_sweep(
+    points: Vec<ExperimentPoint>,
+    fpp: bool,
+    ppn: u32,
+    seed: u64,
+    repeats: u64,
+) -> Vec<Measurement> {
     let n_threads = std::thread::available_parallelism()
         .map(|p| p.get())
         .unwrap_or(4)
@@ -112,7 +138,7 @@ pub fn run_sweep(points: Vec<ExperimentPoint>, fpp: bool, ppn: u32, seed: u64) -
                 if i >= points.len() {
                     break;
                 }
-                let m = run_point(points[i], fpp, ppn, seed);
+                let m = run_point(points[i], fpp, ppn, seed, repeats);
                 *slots[i].lock().unwrap() = Some(m);
             });
         }
@@ -173,27 +199,98 @@ pub fn print_ascii_chart(title: &str, ms: &[Measurement], read: bool) {
     }
 }
 
-static FAILED_CHECKS: std::sync::atomic::AtomicU64 = std::sync::atomic::AtomicU64::new(0);
-
-/// Simple shape assertions used by binaries to self-check against the
-/// paper's qualitative results; prints PASS/FAIL rather than panicking,
-/// and counts failures so [`finish`] can gate CI on them.
-pub fn check(label: &str, ok: bool) {
-    if !ok {
-        FAILED_CHECKS.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
-    }
-    println!("[{}] {label}", if ok { "PASS" } else { "FAIL" });
+/// Per-binary reporting ledger: metrics accumulate into a
+/// [`BenchReport`], shape checks print PASS/FAIL lines, and [`finish`]
+/// writes `BENCH_<name>.json` and turns any failed check into a nonzero
+/// exit — every benchmark binary gates CI through this one path.
+///
+/// [`finish`]: Reporter::finish
+pub struct Reporter {
+    report: BenchReport,
+    failed: u64,
+    total_checks: u64,
+    start: std::time::Instant,
 }
 
-/// Terminate the binary: exit 0 if every [`check`] passed, 1 otherwise.
-/// Call at the end of `main` so smoke runs in CI fail loudly.
-pub fn finish() -> ! {
-    let n = FAILED_CHECKS.load(std::sync::atomic::Ordering::Relaxed);
-    if n > 0 {
-        eprintln!("{n} check(s) failed");
-        std::process::exit(1);
+impl Reporter {
+    /// New ledger for the benchmark `name`, stamped with its root seed.
+    pub fn new(name: &str, seed: u64) -> Reporter {
+        Reporter {
+            report: BenchReport::new(name, seed),
+            failed: 0,
+            total_checks: 0,
+            start: std::time::Instant::now(),
+        }
     }
-    std::process::exit(0);
+
+    /// The report being accumulated (figure runners record into this).
+    pub fn report_mut(&mut self) -> &mut BenchReport {
+        &mut self.report
+    }
+
+    /// Record one metric value directly.
+    pub fn record(&mut self, series: &str, scale: u32, metric: &str, value: f64) {
+        self.report.record(series, scale, metric, value);
+    }
+
+    /// Shape assertion against the paper's qualitative results; prints
+    /// PASS/FAIL rather than panicking, and counts failures so
+    /// [`Reporter::finish`] can gate CI on them.
+    pub fn check(&mut self, label: &str, ok: bool) {
+        self.total_checks += 1;
+        if !ok {
+            self.failed += 1;
+        }
+        println!("[{}] {label}", if ok { "PASS" } else { "FAIL" });
+    }
+
+    /// Number of failed checks so far.
+    pub fn failures(&self) -> u64 {
+        self.failed
+    }
+
+    /// Stamp the wall time and hand back the report (used by `regress`,
+    /// which aggregates several reports before deciding its exit code).
+    pub fn into_report(mut self) -> BenchReport {
+        self.report.wall_secs = self.start.elapsed().as_secs_f64();
+        self.report
+    }
+
+    /// Terminate the binary: write `BENCH_<name>.json`, then exit 0 if
+    /// every [`Reporter::check`] passed, 1 otherwise.
+    ///
+    /// The JSON lands in `$DAOS_BENCH_OUT` if set, else `results/` if that
+    /// directory exists (i.e. when run from the repo root), else nowhere.
+    pub fn finish(self) -> ! {
+        let failed = self.failed;
+        let report = self.into_report();
+        if let Some(dir) = json_out_dir() {
+            match report.write_to(&dir) {
+                Ok(path) => eprintln!("wrote {}", path.display()),
+                Err(e) => {
+                    eprintln!("failed to write BENCH_{}.json: {e}", report.name);
+                    std::process::exit(1);
+                }
+            }
+        }
+        if failed > 0 {
+            eprintln!("{failed} check(s) failed");
+            std::process::exit(1);
+        }
+        std::process::exit(0);
+    }
+}
+
+/// Where benchmark binaries drop their `BENCH_<name>.json`.
+pub fn json_out_dir() -> Option<PathBuf> {
+    if let Ok(dir) = std::env::var("DAOS_BENCH_OUT") {
+        if dir.is_empty() {
+            return None; // explicit opt-out
+        }
+        return Some(PathBuf::from(dir));
+    }
+    let results = PathBuf::from("results");
+    results.is_dir().then_some(results)
 }
 
 #[cfg(test)]
@@ -249,5 +346,18 @@ mod tests {
         assert_eq!(p.transfer_size, 1 << 20);
         assert_eq!(p.block_size % p.transfer_size, 0);
         assert!(p.file_per_process);
+    }
+
+    #[test]
+    fn reporter_counts_failures_and_records() {
+        let mut rep = Reporter::new("unit", 7);
+        rep.check("passes", true);
+        rep.check("fails", false);
+        rep.record("s", 4, "write_gib_s", 12.5);
+        assert_eq!(rep.failures(), 1);
+        let report = rep.into_report();
+        assert_eq!(report.get("s", 4, "write_gib_s"), Some(12.5));
+        assert_eq!(report.name, "unit");
+        assert_eq!(report.seed, 7);
     }
 }

@@ -205,12 +205,12 @@ impl PoolReplica {
     pub fn state(&self) -> PoolState {
         self.state.borrow().clone()
     }
-    /// Install the map-change hook (see [`PoolReplica::on_map_change`]).
+    /// Install the map-change hook, invoked on every applied pool op.
     pub fn set_on_map_change(&self, f: impl Fn(&Sim, &PoolOp, &PoolState) + 'static) {
         *self.on_map_change.borrow_mut() = Some(Box::new(f));
     }
-    /// Install the corruption-report hook (see
-    /// [`PoolReplica::on_corruption`]).
+    /// Install the corruption-report hook, invoked when an engine reports
+    /// checksum corruption.
     pub fn set_on_corruption(&self, f: impl Fn(&Sim, CorruptionReport) + 'static) {
         *self.on_corruption.borrow_mut() = Some(Box::new(f));
     }

@@ -18,7 +18,7 @@
 //! barrier-to-barrier makespan over all ranks, like IOR's reported
 //! bandwidth.
 //!
-//! [`mdtest`] adds an mdtest-style metadata benchmark (create/stat/unlink
+//! [`mod@mdtest`] adds an mdtest-style metadata benchmark (create/stat/unlink
 //! rates), covering the paper's metadata-performance motivation (§I).
 
 pub mod daos_env;

@@ -24,7 +24,7 @@ pub struct Cluster<C: Clone> {
     net: VecDeque<InFlight<C>>,
     rng: ChaCha8Rng,
     round: u64,
-    /// Probability in [0,1] that any message is dropped.
+    /// Probability in 0..=1 that any message is dropped.
     pub drop_rate: f64,
     /// Maximum extra delivery delay in rounds.
     pub max_delay: u64,

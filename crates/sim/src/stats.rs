@@ -145,7 +145,7 @@ impl Histogram {
     }
 
     /// Approximate quantile: upper bound of the bucket containing the
-    /// q-quantile sample (q in [0,1]).
+    /// q-quantile sample (q in 0..=1).
     pub fn quantile(&self, q: f64) -> u64 {
         if self.count == 0 {
             return 0;

@@ -9,7 +9,7 @@
 //!
 //! * [`nwp`] — numerical weather prediction output: bursts of medium-sized
 //!   semantically-indexed field objects per forecast step, immediately
-//!   consumed by product generation (the ECMWF pattern, refs [7][8][20]);
+//!   consumed by product generation (the ECMWF pattern, paper refs 7, 8, 20);
 //! * [`checkpoint`] — compute/checkpoint cadence: the application computes
 //!   (idle storage), then every rank dumps state through POSIX at once —
 //!   bursty, latency-sensitive, shared- or private-file;
