@@ -51,6 +51,7 @@ fn out_dir() -> PathBuf {
 
 /// Run one reduced-scale figure, stamping its wall time.
 fn timed(name: &str, seed: u64, f: impl FnOnce(&mut BenchReport)) -> BenchReport {
+    // simlint: allow(D02) wall-time provenance for the report header; never feeds back into the simulation
     let t0 = Instant::now();
     let mut report = BenchReport::new(name, seed);
     eprintln!("regress: running {name} (reduced scale)...");
@@ -95,7 +96,10 @@ fn main() {
     if compare_only {
         let load = |name: &str| {
             BenchReport::load(&out, name).unwrap_or_else(|e| {
-                eprintln!("regress: --compare-only needs a prior run's reports in {}: {e}", out.display());
+                eprintln!(
+                    "regress: --compare-only needs a prior run's reports in {}: {e}",
+                    out.display()
+                );
                 std::process::exit(2);
             })
         };

@@ -21,6 +21,10 @@
 //! * CSV emission and a terminal ASCII chart so the figure's *shape* is
 //!   visible without leaving the shell.
 
+// No `unsafe` may enter the workspace outside the audited kernel
+// crate (`daos-sim`, which carries `deny`): see simlint rule D05.
+#![forbid(unsafe_code)]
+
 use std::collections::BTreeMap;
 use std::path::PathBuf;
 
@@ -82,6 +86,24 @@ pub fn run_point(
     seed: u64,
     repeats: u64,
 ) -> Measurement {
+    run_point_with(
+        point,
+        paper_params(point.api, point.oclass, fpp, ppn),
+        seed,
+        repeats,
+    )
+}
+
+/// [`run_point`] with explicit IOR parameters: the figure cells use
+/// [`paper_params`]; the determinism regression test keeps the exact
+/// same machinery (salted testbed, per-repeat seed derivation) at a
+/// smaller I/O volume.
+pub fn run_point_with(
+    point: ExperimentPoint,
+    params: IorParams,
+    seed: u64,
+    repeats: u64,
+) -> Measurement {
     let mut acc: Option<IorReport> = None;
     for it in 0..repeats {
         let mut sim = Sim::new(seed ^ ((point.client_nodes as u64) << 32) ^ (it << 56));
@@ -95,7 +117,6 @@ pub fn run_point(
             )
             .await
             .expect("testbed setup");
-            let params = paper_params(point.api, point.oclass, fpp, ppn);
             run(&sim, &env, params).await.expect("ior run")
         });
         acc = Some(match acc {
@@ -219,6 +240,7 @@ impl Reporter {
             report: BenchReport::new(name, seed),
             failed: 0,
             total_checks: 0,
+            // simlint: allow(D02) wall-time provenance stamp for BENCH_<name>.json; never feeds back into the simulation
             start: std::time::Instant::now(),
         }
     }

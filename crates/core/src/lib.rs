@@ -20,6 +20,10 @@
 //! Everything above the fabric is real protocol logic; only hardware time
 //! is simulated.
 
+// No `unsafe` may enter the workspace outside the audited kernel
+// crate (`daos-sim`, which carries `deny`): see simlint rule D05.
+#![forbid(unsafe_code)]
+
 pub mod client;
 pub mod cluster;
 pub mod engine;

@@ -14,6 +14,10 @@
 //! like the real client. This is the backend the IOR `DFS` driver and the
 //! DFuse daemon sit on.
 
+// No `unsafe` may enter the workspace outside the audited kernel
+// crate (`daos-sim`, which carries `deny`): see simlint rule D05.
+#![forbid(unsafe_code)]
+
 use std::cell::Cell;
 use std::rc::Rc;
 

@@ -20,6 +20,10 @@
 //! No data is cached (`dfuse --disable-caching`, as in the paper's runs):
 //! every POSIX I/O reaches DAOS.
 
+// No `unsafe` may enter the workspace outside the audited kernel
+// crate (`daos-sim`, which carries `deny`): see simlint rule D05.
+#![forbid(unsafe_code)]
+
 use std::cell::Cell;
 use std::rc::Rc;
 

@@ -26,6 +26,10 @@
 //! `Closed` instead (fire-and-forget callers like the raft wire treat that
 //! as message loss).
 
+// No `unsafe` may enter the workspace outside the audited kernel
+// crate (`daos-sim`, which carries `deny`): see simlint rule D05.
+#![forbid(unsafe_code)]
+
 use std::cell::{Cell, RefCell};
 use std::collections::BTreeSet;
 use std::rc::Rc;

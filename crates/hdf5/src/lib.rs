@@ -21,6 +21,10 @@
 //! (MPI-IO; datasets opened with `collective` transfer use
 //! `write_at_all`/`read_at_all`, which is what HDF5 does for shared files).
 
+// No `unsafe` may enter the workspace outside the audited kernel
+// crate (`daos-sim`, which carries `deny`): see simlint rule D05.
+#![forbid(unsafe_code)]
+
 use std::cell::{Cell, RefCell};
 use std::collections::BTreeMap;
 use std::rc::Rc;

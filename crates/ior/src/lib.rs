@@ -21,6 +21,10 @@
 //! [`mod@mdtest`] adds an mdtest-style metadata benchmark (create/stat/unlink
 //! rates), covering the paper's metadata-performance motivation (§I).
 
+// No `unsafe` may enter the workspace outside the audited kernel
+// crate (`daos-sim`, which carries `deny`): see simlint rule D05.
+#![forbid(unsafe_code)]
+
 pub mod daos_env;
 pub mod mdtest;
 pub mod pfs_run;

@@ -16,6 +16,10 @@
 //! `DESIGN.md` §4); what matters for the reproduced figures is the *ratio*
 //! structure (write ≪ read on SCM, per-extent costs, queue depths).
 
+// No `unsafe` may enter the workspace outside the audited kernel
+// crate (`daos-sim`, which carries `deny`): see simlint rule D05.
+#![forbid(unsafe_code)]
+
 use std::rc::Rc;
 
 use daos_sim::time::{SimDuration, SimTime};

@@ -10,6 +10,10 @@
 //! collective sequence number, so mismatched calls deadlock loudly in the
 //! simulator rather than corrupting state — just like real MPI).
 
+// No `unsafe` may enter the workspace outside the audited kernel
+// crate (`daos-sim`, which carries `deny`): see simlint rule D05.
+#![forbid(unsafe_code)]
+
 use std::cell::{Cell, RefCell};
 use std::collections::VecDeque;
 use std::rc::Rc;

@@ -14,6 +14,10 @@
 //! default `automatic` setting, collective buffering only engages when the
 //! ranks' accesses actually interleave, matching `romio_cb_write=automatic`.
 
+// No `unsafe` may enter the workspace outside the audited kernel
+// crate (`daos-sim`, which carries `deny`): see simlint rule D05.
+#![forbid(unsafe_code)]
+
 use daos_core::DaosError;
 use daos_dfs::DfsFile;
 use daos_dfuse::PosixFile;

@@ -19,6 +19,10 @@
 //!   service — the classic shared-file collapse. Readers take PR locks,
 //!   which are mutually compatible.
 
+// No `unsafe` may enter the workspace outside the audited kernel
+// crate (`daos-sim`, which carries `deny`): see simlint rule D05.
+#![forbid(unsafe_code)]
+
 use std::cell::{Cell, RefCell};
 use std::collections::BTreeMap;
 use std::rc::Rc;

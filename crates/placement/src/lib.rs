@@ -18,6 +18,10 @@
 //! stragglers), `S2` halves the variance, `SX` stripes every object over all
 //! targets (perfect balance, maximal fan-out).
 
+// No `unsafe` may enter the workspace outside the audited kernel
+// crate (`daos-sim`, which carries `deny`): see simlint rule D05.
+#![forbid(unsafe_code)]
+
 use std::collections::BTreeSet;
 
 /// A flat target identifier within a pool (dense, `0..target_count`).

@@ -22,6 +22,10 @@
 //! is chosen at pool format time; reconfiguration is an administrative
 //! operation outside our scope).
 
+// No `unsafe` may enter the workspace outside the audited kernel
+// crate (`daos-sim`, which carries `deny`): see simlint rule D05.
+#![forbid(unsafe_code)]
+
 mod log;
 mod node;
 pub mod testing;

@@ -206,7 +206,18 @@ pub enum Either<A, B> {
 
 /// Race two futures; the loser is dropped (cancelled). Polls left first, so
 /// simultaneous completion resolves to `Left` — deterministic tie-breaking.
-pub fn select2<FA: Future, FB: Future>(a: FA, b: FB) -> Select2<FA, FB> {
+///
+/// Both futures must be [`Unpin`]: pin an `async` block to the stack with
+/// [`std::pin::pin!`] first (as [`timeout`] does, at zero cost) or to the
+/// heap with [`Box::pin`]. Requiring `Unpin` keeps the combinator free of
+/// `unsafe` pin projection — `Pin<&mut F>` and `Pin<Box<F>>` are always
+/// `Unpin`, so the caller chooses where the pinning happens and `poll`
+/// re-pins with the safe [`Pin::new`].
+pub fn select2<FA, FB>(a: FA, b: FB) -> Select2<FA, FB>
+where
+    FA: Future + Unpin,
+    FB: Future + Unpin,
+{
     Select2 { a, b }
 }
 
@@ -216,16 +227,14 @@ pub struct Select2<FA, FB> {
     b: FB,
 }
 
-impl<FA: Future, FB: Future> Future for Select2<FA, FB> {
+impl<FA: Future + Unpin, FB: Future + Unpin> Future for Select2<FA, FB> {
     type Output = Either<FA::Output, FB::Output>;
     fn poll(self: Pin<&mut Self>, cx: &mut Context<'_>) -> Poll<Self::Output> {
-        // Safety: `a` and `b` are structurally pinned — never moved out of
-        // `self`, only repinned by projection.
-        let this = unsafe { self.get_unchecked_mut() };
-        if let Poll::Ready(v) = unsafe { Pin::new_unchecked(&mut this.a) }.poll(cx) {
+        let this = self.get_mut(); // safe: Self: Unpin (both fields are)
+        if let Poll::Ready(v) = Pin::new(&mut this.a).poll(cx) {
             return Poll::Ready(Either::Left(v));
         }
-        if let Poll::Ready(v) = unsafe { Pin::new_unchecked(&mut this.b) }.poll(cx) {
+        if let Poll::Ready(v) = Pin::new(&mut this.b).poll(cx) {
             return Poll::Ready(Either::Right(v));
         }
         Poll::Pending
@@ -234,7 +243,11 @@ impl<FA: Future, FB: Future> Future for Select2<FA, FB> {
 
 /// Run `fut` with a virtual-time deadline: `Some(out)` if it completes
 /// within `dur`, `None` if the timer wins (the future is then dropped).
+///
+/// `fut` is pinned to this frame's stack, so the per-RPC hot path (every
+/// fabric attempt runs under a `timeout`) stays allocation-free.
 pub async fn timeout<T>(sim: &Sim, dur: SimDuration, fut: impl Future<Output = T>) -> Option<T> {
+    let fut = std::pin::pin!(fut);
     match select2(fut, sim.sleep(dur)).await {
         Either::Left(v) => Some(v),
         Either::Right(()) => None,
@@ -314,6 +327,23 @@ mod tests {
         });
         assert_eq!(fast, Some(42));
         assert_eq!(slow, None);
+    }
+
+    #[test]
+    fn select2_accepts_stack_pinned_async_blocks() {
+        let mut sim = Sim::new(1);
+        let out = sim.block_on(|sim| async move {
+            let a = std::pin::pin!(async {
+                sim.sleep_us(1).await;
+                1u32
+            });
+            let b = std::pin::pin!(async {
+                sim.sleep_us(2).await;
+                2u32
+            });
+            select2(a, b).await
+        });
+        assert_eq!(out, Either::Left(1));
     }
 
     #[test]

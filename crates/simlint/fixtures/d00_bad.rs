@@ -1,0 +1,11 @@
+// Planted D00 violations: pragma hygiene. A pragma that cannot be
+// trusted is itself a defect — waivers must not rot.
+
+fn pragmas() {
+    // simlint: allow(D02)
+    let _t = std::time::Instant::now();
+    // simlint: allow(D99) unknown rule id
+    let _x = 1;
+    // simlint: allow(D03) stale: nothing random on the next line
+    let _y = 2;
+}

@@ -1,0 +1,11 @@
+// Planted D01 violations: std hash collections in simulator code.
+// Also the CI negative smoke check: simlint run on this file must exit 1.
+use std::collections::HashMap;
+use std::collections::HashSet;
+
+fn order_dependent() -> Vec<u32> {
+    let mut m = HashMap::new();
+    m.insert(1u32, 2u32);
+    let s: HashSet<u32> = HashSet::new();
+    m.keys().chain(s.iter()).copied().collect() // nondeterministic order
+}

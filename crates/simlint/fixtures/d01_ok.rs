@@ -1,0 +1,14 @@
+// No violations: every rule keyword here is hidden from the compiler —
+// a naive grep flags this file, a lexer must not.
+
+fn clean() -> usize {
+    let a = "HashMap in a plain string";
+    let b = "escaped quote \" then HashMap, still inside the string";
+    let c = r#"HashMap in a raw string with "quotes" inside"#;
+    let d = br##"HashSet in a raw byte string with a "# fence"##;
+    // HashMap in a line comment
+    /* HashSet in a /* nested */ block comment */
+    struct MyHashMap; // identifier *containing* the name is fine
+    let _ = MyHashMap;
+    a.len() + b.len() + c.len() + d.len()
+}

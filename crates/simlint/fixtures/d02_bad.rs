@@ -1,0 +1,7 @@
+// Planted D02 violations: wall-clock reads in simulator code.
+
+fn wall_clock() -> (std::time::Instant, std::time::SystemTime) {
+    let t = std::time::Instant::now();
+    let s = std::time::SystemTime::now();
+    (t, s)
+}

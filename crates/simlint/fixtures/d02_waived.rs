@@ -1,0 +1,8 @@
+// Clean: both wall-clock reads are documented at the use site.
+
+fn provenance() -> f64 {
+    // simlint: allow(D02) wall-time stamp for report provenance, never sim-visible
+    let t0 = std::time::Instant::now();
+    let t1 = std::time::Instant::now(); // simlint: allow(D02) trailing form of the same waiver
+    (t1 - t0).as_secs_f64()
+}

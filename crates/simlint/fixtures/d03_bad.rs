@@ -1,0 +1,9 @@
+// Planted D03 violations: ambient randomness (seed not derived from Sim).
+
+fn entropy() -> u64 {
+    let mut rng = rand::thread_rng();
+    let a: u64 = rand::random();
+    let rng2 = rand_chacha::ChaCha8Rng::from_entropy();
+    let _ = (&mut rng, rng2);
+    a
+}

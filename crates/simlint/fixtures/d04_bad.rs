@@ -1,0 +1,10 @@
+// Planted D04 violations: host threads outside crates/bench.
+
+fn host_parallelism() {
+    let h = std::thread::spawn(|| 1 + 1);
+    let _ = h.join();
+    crossbeam::scope(|s| {
+        s.spawn(|_| ());
+    })
+    .unwrap();
+}

@@ -1,0 +1,13 @@
+// Planted D05 violations: unsafe without a per-block SAFETY comment.
+
+fn deref_no_comment(p: *const u8) -> u8 {
+    unsafe { *p }
+}
+
+fn shared_paragraph(p: *const u8) -> (u8, u8) {
+    // SAFETY: one paragraph trying to cover both blocks below — only the
+    // first block may claim it; the second is a violation.
+    let a = unsafe { *p };
+    let b = unsafe { *p };
+    (a, b)
+}

@@ -1,0 +1,17 @@
+// Clean: every unsafe block carries its own adjacent SAFETY comment.
+
+fn documented(p: *const u8) -> (u8, u8) {
+    // SAFETY: caller guarantees `p` points to a live, initialized byte.
+    let a = unsafe { *p };
+    // SAFETY: same contract as above; each block gets its own comment.
+    // A continuation line under the SAFETY line is part of the paragraph.
+    let b = unsafe { *p };
+    (a, b)
+}
+
+fn trailing(p: *const u8) -> u8 {
+    unsafe { *p } // SAFETY: trailing justification on the same line
+}
+
+/* SAFETY: block-comment justification works too. */
+unsafe fn marked() {}

@@ -1,0 +1,22 @@
+// Clean: a gauntlet of lexer edge cases. Every banned name below is in
+// a position the compiler never sees as code.
+
+fn torture<'a>(x: &'a str) -> &'a str {
+    let _c: char = 'H'; // char literal, not a lifetime
+    let _q: char = '\''; // escaped quote char
+    let _bs: char = '\\';
+    let _byte = b'u'; // byte char
+    let _n = 0xFA17u64 + 1_000; // numeric suffixes are not identifiers
+    let _s1 = "thread_rng() and Instant::now() in a string";
+    let _s2 = r#"crossbeam::scope and "SystemTime" in a raw string"#;
+    let _s3 = br##"HashMap behind a double-# fence: "# still inside"##;
+    let _s4 = c"thread_rng in a C string";
+    // thread_rng() in a line comment
+    /* rand::random::<u64>() in a block comment
+       /* nested: std::thread::spawn(|| HashSet::new()) */
+       still inside the outer comment: from_entropy() */
+    let multi = "a string
+        spanning lines with Instant::now() inside";
+    let _ = multi;
+    x
+}

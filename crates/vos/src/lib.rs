@@ -15,6 +15,10 @@
 //! deterministic [`Payload::Pattern`] so benchmarks can push terabytes
 //! through the data path without allocating them.
 
+// No `unsafe` may enter the workspace outside the audited kernel
+// crate (`daos-sim`, which carries `deny`): see simlint rule D05.
+#![forbid(unsafe_code)]
+
 pub mod target;
 pub mod tree;
 

@@ -21,6 +21,10 @@
 //! bandwidths; `daos-bench`'s `app_workloads` binary tabulates them across
 //! interfaces.
 
+// No `unsafe` may enter the workspace outside the audited kernel
+// crate (`daos-sim`, which carries `deny`): see simlint rule D05.
+#![forbid(unsafe_code)]
+
 use std::rc::Rc;
 
 use daos_core::DaosError;

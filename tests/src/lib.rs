@@ -1,2 +1,6 @@
 //! Workspace-level integration tests live in `tests/tests/`; this crate
 //! has no library code of its own.
+
+// No `unsafe` may enter the workspace outside the audited kernel
+// crate (`daos-sim`, which carries `deny`): see simlint rule D05.
+#![forbid(unsafe_code)]

@@ -1,0 +1,70 @@
+//! Determinism regression: the invariant every reproduced claim rests
+//! on — a given seed produces a *byte-identical* `BENCH` report, run to
+//! run — checked end to end through the serialized JSON.
+//!
+//! The existing chaos proptest asserts determinism of fault timelines;
+//! these tests cover what it does not: the figure-cell bandwidth path
+//! (client → fabric → engine → VOS → media with checksums charged) and
+//! the scrub/targeted-repair path added with the integrity model. They
+//! intentionally share machinery (`run_point_with`, `rot_timeline`) and
+//! seeds with the `regress` gate, so a nondeterminism bug that would
+//! make CI flaky fails here first, with a readable diff.
+
+use daos_bench::figures::{record_rot_timeline, rot_timeline, REDUCED_REPEATS};
+use daos_bench::report::{config_hash, BenchReport};
+use daos_bench::{paper_cluster, paper_params, run_point_with, ExperimentPoint};
+use daos_ior::Api;
+use daos_placement::ObjectClass;
+
+/// The reduced sweep's 1-node Figure-1 cell (DFS-S2, file-per-process),
+/// at a CI-friendly volume: same testbed, seed salting and repeat
+/// averaging as `regress`, smaller per-rank block.
+fn figure_cell_json() -> String {
+    let point = ExperimentPoint {
+        api: Api::Dfs,
+        oclass: ObjectClass::S2,
+        client_nodes: 1,
+    };
+    let mut params = paper_params(point.api, point.oclass, true, 16);
+    params.block_size = 4 << 20;
+    let m = run_point_with(point, params, 0xF161, REDUCED_REPEATS);
+    let mut report = BenchReport::new("determinism_cell", 0xF161);
+    report.config_hash = config_hash(&paper_cluster(1));
+    report.record(&m.series(), 1, "write_gib_s", m.report.write_gib_s());
+    report.record(&m.series(), 1, "read_gib_s", m.report.read_gib_s());
+    report.to_json()
+}
+
+/// The `regress` scrub-mode rot cell: bit-rot injected on the busiest
+/// target, detected by the background scrubber, healed by targeted
+/// repair — the PR 2 paths the chaos determinism proptest never drives.
+fn scrub_repair_json() -> (String, u64) {
+    let mut report = BenchReport::new("determinism_rot", 0x5C2B ^ 1);
+    let t = rot_timeline(ObjectClass::RP_2GX, true, 0x5C2B ^ 1);
+    let repairs = t.repairs_ok;
+    record_rot_timeline(&mut report, &t);
+    (report.to_json(), repairs)
+}
+
+#[test]
+fn figure_cell_reports_are_byte_identical() {
+    let a = figure_cell_json();
+    let b = figure_cell_json();
+    assert!(
+        a.contains("write_gib_s") && a.contains("DFS-S2"),
+        "report looks empty:\n{a}"
+    );
+    assert_eq!(a, b, "same seed must serialize to identical bytes");
+}
+
+#[test]
+fn scrub_repair_reports_are_byte_identical() {
+    let (a, repairs_a) = scrub_repair_json();
+    let (b, repairs_b) = scrub_repair_json();
+    assert!(
+        repairs_a > 0,
+        "cell must actually exercise targeted repair:\n{a}"
+    );
+    assert_eq!(repairs_a, repairs_b);
+    assert_eq!(a, b, "same seed must serialize to identical bytes");
+}
