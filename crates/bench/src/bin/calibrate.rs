@@ -3,17 +3,19 @@
 //! checks), but it still emits `BENCH_calibrate.json` so a calibration
 //! pass can be diffed against an earlier one.
 
-use daos_bench::figures::{figure_apis, grid_points};
+use daos_bench::exec;
+use daos_bench::figures::{figure_apis, grid_points, sweep_repeats};
 use daos_bench::{print_csv, run_sweep, Reporter};
 use daos_placement::ObjectClass;
 
 fn main() {
+    let args = exec::parse_threads_flag(std::env::args().skip(1).collect());
     let classes = [ObjectClass::S1, ObjectClass::S2, ObjectClass::SX];
     let nodes = [1u32, 4, 16];
-    let fpp = std::env::args().nth(1).as_deref() != Some("shared");
+    let fpp = args.first().map(String::as_str) != Some("shared");
     let mut rep = Reporter::new("calibrate", 0xCA11B);
     let points = grid_points(&figure_apis(), &classes, &nodes);
-    let ms = run_sweep(points, fpp, 16, 0xCA11B, 5);
+    let ms = run_sweep(points, fpp, 16, 0xCA11B, sweep_repeats());
     print_csv(
         &format!("calibration ({})", if fpp { "fpp" } else { "shared" }),
         &ms,

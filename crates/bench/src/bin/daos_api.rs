@@ -4,9 +4,12 @@
 //!
 //! ```text
 //! cargo run -p daos-bench --release --bin daos_api
+//! cargo run -p daos-bench --release --bin daos_api -- --threads 1
+//! BENCH_REPEATS=1 cargo run -p daos-bench --release --bin daos_api  # CI smoke scale
 //! ```
 
-use daos_bench::figures::grid_points;
+use daos_bench::exec;
+use daos_bench::figures::{grid_points, sweep_repeats};
 use daos_bench::{print_csv, run_sweep, series_table, Reporter};
 use daos_ior::Api;
 use daos_placement::ObjectClass;
@@ -15,6 +18,7 @@ const NODES: [u32; 3] = [1, 4, 16];
 const PPN: u32 = 16;
 
 fn main() {
+    exec::parse_threads_flag(std::env::args().skip(1).collect());
     let apis = [
         Api::DaosArray,
         Api::Dfs,
@@ -23,7 +27,7 @@ fn main() {
     ];
     let mut rep = Reporter::new("daos_api", 0xDA05A);
     let points = grid_points(&apis, &[ObjectClass::SX], &NODES);
-    let ms = run_sweep(points, true, PPN, 0xDA05A, 5);
+    let ms = run_sweep(points, true, PPN, 0xDA05A, sweep_repeats());
     print_csv("Native DAOS array API vs file interfaces (SX, fpp)", &ms);
     for m in &ms {
         rep.record(

@@ -5,10 +5,15 @@
 //! the background rebuild re-protects the data, and the engine is finally
 //! reintegrated.
 //!
+//! The per-class timelines are independent seeded sims, so they run as
+//! jobs on the shared slate executor (`--threads` / `BENCH_THREADS`;
+//! output is byte-identical at any thread count).
+//!
 //! ```text
 //! cargo run -p daos-bench --release --bin fault_sweep
 //! ```
 
+use daos_bench::exec::{self, Slate};
 use daos_bench::figures::{
     check_fault_timeline, fault_timeline, record_fault_timeline, FAULT_VICTIM,
 };
@@ -21,6 +26,7 @@ const PPN: u32 = 8;
 const PER_RANK: u64 = 8 * MIB;
 
 fn main() {
+    exec::parse_threads_flag(std::env::args().skip(1).collect());
     let mut rep = Reporter::new("fault_sweep", 0xFA17);
     println!("# fault sweep: {NODES} client nodes, {PPN} ppn, engine {FAULT_VICTIM} crashes");
     println!("class,write_gib_s,read_healthy,read_during_failure,read_after_rebuild,read_after_reintegration,map_version,chunks_repaired");
@@ -32,9 +38,19 @@ fn main() {
             groups: None,
         },
     ];
-    let mut rows = Vec::new();
+    let mut slate = Slate::new();
     for class in classes {
-        let t = fault_timeline(class, NODES, PPN, PER_RANK);
+        slate.push(format!("fault/{class}"), move || {
+            fault_timeline(class, NODES, PPN, PER_RANK)
+        });
+    }
+    let rows: Vec<_> = slate
+        .run_auto()
+        .unwrap_or_else(|p| panic!("fault sweep {p}"))
+        .into_iter()
+        .map(|r| r.value)
+        .collect();
+    for t in &rows {
         println!(
             "{},{:.3},{:.3},{:.3},{:.3},{:.3},{},{}",
             t.class,
@@ -46,8 +62,7 @@ fn main() {
             t.map_version,
             t.chunks_repaired,
         );
-        record_fault_timeline(rep.report_mut(), &t);
-        rows.push(t);
+        record_fault_timeline(rep.report_mut(), t);
     }
     for t in &rows {
         check_fault_timeline(&mut rep, t);

@@ -11,11 +11,13 @@
 //! Ends with PASS/FAIL self-checks of the paper's qualitative claims and
 //! writes `results/BENCH_fig1_fpp.json` for the regression harness.
 
+use daos_bench::exec;
 use daos_bench::figures::{run_fig1, FULL_NODES, FULL_REPEATS};
 use daos_bench::{print_ascii_chart, print_csv, series_table, Reporter};
 
 fn main() {
-    let phase = std::env::args().nth(1);
+    let args = exec::parse_threads_flag(std::env::args().skip(1).collect());
+    let phase = args.first().cloned();
     let mut rep = Reporter::new("fig1_fpp", 0xF161);
     let ms = run_fig1(rep.report_mut(), &FULL_NODES, FULL_REPEATS);
     print_csv("Figure 1: IOR file-per-process", &ms);

@@ -7,11 +7,13 @@
 //! cargo run -p daos-bench --release --bin fig2_shared -- write   # Fig 2(b)
 //! ```
 
+use daos_bench::exec;
 use daos_bench::figures::{run_fig2, FULL_NODES, FULL_REPEATS};
 use daos_bench::{print_ascii_chart, print_csv, series_table, Reporter};
 
 fn main() {
-    let phase = std::env::args().nth(1);
+    let args = exec::parse_threads_flag(std::env::args().skip(1).collect());
+    let phase = args.first().cloned();
     let mut rep = Reporter::new("fig2_shared", 0xF162);
     let ms = run_fig2(rep.report_mut(), &FULL_NODES, FULL_REPEATS);
     print_csv("Figure 2: IOR shared-file", &ms);

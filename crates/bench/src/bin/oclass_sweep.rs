@@ -4,9 +4,12 @@
 //!
 //! ```text
 //! cargo run -p daos-bench --release --bin oclass_sweep
+//! cargo run -p daos-bench --release --bin oclass_sweep -- --threads 1
+//! BENCH_REPEATS=1 cargo run -p daos-bench --release --bin oclass_sweep  # CI smoke scale
 //! ```
 
-use daos_bench::figures::grid_points;
+use daos_bench::exec;
+use daos_bench::figures::{grid_points, sweep_repeats};
 use daos_bench::{print_csv, run_sweep, series_table, Reporter};
 use daos_ior::Api;
 use daos_placement::ObjectClass;
@@ -15,6 +18,7 @@ const NODES: [u32; 3] = [1, 4, 16];
 const PPN: u32 = 16;
 
 fn main() {
+    exec::parse_threads_flag(std::env::args().skip(1).collect());
     let classes = [
         ObjectClass::S1,
         ObjectClass::S2,
@@ -24,7 +28,7 @@ fn main() {
     ];
     let mut rep = Reporter::new("oclass_sweep", 0x0C1A);
     let points = grid_points(&[Api::Dfs], &classes, &NODES);
-    let ms = run_sweep(points, true, PPN, 0x0C1A, 5);
+    let ms = run_sweep(points, true, PPN, 0x0C1A, sweep_repeats());
     print_csv("Object-class sweep (DFS, file-per-process)", &ms);
     for m in &ms {
         rep.record(

@@ -3,16 +3,23 @@
 //! file-per-process; on the PFS, interleaved shared-file writes ping-pong
 //! LDLM extent locks and collapse.
 //!
+//! Each (system, mode, scale) cell is an independent seeded sim, run as
+//! a job on the shared slate executor (`--threads` / `BENCH_THREADS`;
+//! output is byte-identical at any thread count).
+//!
 //! ```text
 //! cargo run -p daos-bench --release --bin pfs_contrast
+//! cargo run -p daos-bench --release --bin pfs_contrast -- --threads 1
 //! ```
 
+use daos_bench::exec;
 use daos_bench::figures::run_pfs_contrast;
 use daos_bench::Reporter;
 
 const NODES: [u32; 4] = [1, 4, 8, 16];
 
 fn main() {
+    exec::parse_threads_flag(std::env::args().skip(1).collect());
     let mut rep = Reporter::new("pfs_contrast", 0x1F5);
     println!("# PFS contrast: write bandwidth, file-per-process vs shared");
     println!("system,mode,client_nodes,write_gib_s,read_gib_s,lock_revokes");

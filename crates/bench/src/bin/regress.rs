@@ -1,20 +1,29 @@
 //! **Benchmark regression harness** — the CI perf gate.
 //!
 //! Runs a reduced-scale sweep of every figure the paper's findings rest
-//! on, diffs each fresh `BENCH_<name>.json` against the committed
-//! baselines in `results/baselines/`, evaluates the R1–R5 invariants and
-//! the robustness timeline checks, prints a per-metric drift table, and
+//! on — as one parallel job slate ([`daos_bench::slate`]) — diffs each
+//! fresh `BENCH_<name>.json` against the committed baselines in
+//! `results/baselines/`, evaluates the R1–R5 invariants and the
+//! robustness timeline checks, prints a per-metric drift table, and
 //! exits nonzero on any tolerance or invariant violation. The simulator
-//! is deterministic, so an unchanged tree reproduces its baselines
-//! exactly; any PR that moves a figure must either stay inside the
+//! is deterministic and the slate reduces in submission order, so an
+//! unchanged tree reproduces its baselines exactly *at any thread
+//! count*; any PR that moves a figure must either stay inside the
 //! tolerance bands or update the baselines *intentionally*.
 //!
 //! ```text
-//! cargo run -p daos-bench --release --bin regress             # gate
-//! cargo run -p daos-bench --release --bin regress -- --update # new baselines
+//! cargo run -p daos-bench --release --bin regress               # gate
+//! cargo run -p daos-bench --release --bin regress -- --update   # new baselines
+//! cargo run -p daos-bench --release --bin regress -- --threads 1  # serial
 //! cargo run -p daos-bench --release --bin regress -- --verbose
 //! cargo run -p daos-bench --release --bin regress -- --compare-only
 //! ```
+//!
+//! `--threads N` (or `BENCH_THREADS`) pins the slate width; the default
+//! is the host's available parallelism and `1` reproduces the serial
+//! gate exactly. Per-job wall times, the serial-equivalent total and the
+//! measured speedup land in `timing.txt` and `BENCH_regress.json` in the
+//! output dir — runner overhead regressions are themselves visible.
 //!
 //! `--compare-only` skips the sweep and re-diffs the fresh reports
 //! already sitting in the output dir (from a previous run) against the
@@ -26,22 +35,22 @@
 //! `$DAOS_BENCH_OUT` (default `target/regress/`) so CI can upload them as
 //! artifacts.
 
+use std::fmt::Write as _;
 use std::path::{Path, PathBuf};
-use std::time::Instant;
 
 use daos_bench::baseline::{compare, format_drift_table, violations, TolerancePolicy};
-use daos_bench::figures::{
-    check_fault_timeline, check_rot_timeline, csum_overhead_point, fault_timeline,
-    record_fault_timeline, record_rot_timeline, rot_timeline, run_fig1, run_fig2, run_io500,
-    run_pfs_contrast, REDUCED_NODES, REDUCED_REPEATS,
-};
+use daos_bench::exec;
+use daos_bench::figures::{check_fault_timeline, check_rot_timeline};
 use daos_bench::invariants::evaluate_all;
 use daos_bench::report::BenchReport;
+use daos_bench::slate::{reduced, run_regress_slate, RegressRun};
 use daos_bench::Reporter;
-use daos_placement::ObjectClass;
-use daos_sim::units::MIB;
 
 const BASELINE_DIR: &str = "results/baselines";
+
+/// Label prefixes that attribute slate jobs to their figure report, in
+/// the gate's fixed report order.
+const FIGURE_PREFIXES: [&str; 6] = ["fig1/", "fig2/", "pfs/", "io500/", "fault/", "scrub/"];
 
 fn out_dir() -> PathBuf {
     std::env::var("DAOS_BENCH_OUT")
@@ -49,19 +58,8 @@ fn out_dir() -> PathBuf {
         .unwrap_or_else(|_| PathBuf::from("target/regress"))
 }
 
-/// Run one reduced-scale figure, stamping its wall time.
-fn timed(name: &str, seed: u64, f: impl FnOnce(&mut BenchReport)) -> BenchReport {
-    // simlint: allow(D02) wall-time provenance for the report header; never feeds back into the simulation
-    let t0 = Instant::now();
-    let mut report = BenchReport::new(name, seed);
-    eprintln!("regress: running {name} (reduced scale)...");
-    f(&mut report);
-    report.wall_secs = t0.elapsed().as_secs_f64();
-    report
-}
-
 fn main() {
-    let args: Vec<String> = std::env::args().skip(1).collect();
+    let args: Vec<String> = exec::parse_threads_flag(std::env::args().skip(1).collect());
     let update = args.iter().any(|a| a == "--update");
     let verbose = args.iter().any(|a| a == "--verbose");
     let compare_only = args.iter().any(|a| a == "--compare-only");
@@ -88,10 +86,9 @@ fn main() {
     // drift comparison below contributes separately
     let mut rep = Reporter::new("regress", 0);
 
-    // ---- reduced-scale sweep of every figure -------------------------
+    // ---- reduced-scale sweep of every figure, one parallel slate -----
     let out = out_dir();
-    let mut fault_rows = Vec::new();
-    let mut rot_rows = Vec::new();
+    let mut slate_run: Option<RegressRun> = None;
     let (fig1, fig2, pfs, io500, fault, scrub);
     if compare_only {
         let load = |name: &str| {
@@ -110,58 +107,75 @@ fn main() {
         fault = load("fault_sweep");
         scrub = load("scrub_sweep");
     } else {
-        fig1 = timed("fig1_fpp", 0xF161, |r| {
-            run_fig1(r, &REDUCED_NODES, REDUCED_REPEATS);
-        });
-        fig2 = timed("fig2_shared", 0xF162, |r| {
-            run_fig2(r, &REDUCED_NODES, REDUCED_REPEATS);
-        });
-        pfs = timed("pfs_contrast", 0x1F5, |r| {
-            run_pfs_contrast(r, &REDUCED_NODES);
-        });
-        io500 = timed("io500", 0x10500, |r| {
-            run_io500(r, 4, 8);
-        });
-        fault = timed("fault_sweep", 0xFA17, |r| {
-            let t = fault_timeline(ObjectClass::RP_2GX, 2, 4, 4 * MIB);
-            record_fault_timeline(r, &t);
-            fault_rows.push(t);
-        });
-        scrub = timed("scrub_sweep", 0x5C2B, |r| {
-            for fpp in [true, false] {
-                let label = if fpp {
-                    "easy-fpp-1m"
-                } else {
-                    "hard-shared-64k"
-                };
-                let (w_on, r_on) = csum_overhead_point(true, fpp, 2, 4);
-                let (w_off, r_off) = csum_overhead_point(false, fpp, 2, 4);
-                for (metric, v) in [
-                    ("write_csum_on", w_on),
-                    ("write_csum_off", w_off),
-                    ("read_csum_on", r_on),
-                    ("read_csum_off", r_off),
-                ] {
-                    r.record(label, 2, metric, v);
-                }
-            }
-            for scrub_mode in [false, true] {
-                let t = rot_timeline(ObjectClass::RP_2GX, scrub_mode, 0x5C2B ^ scrub_mode as u64);
-                record_rot_timeline(r, &t);
-                rot_rows.push(t);
-            }
-        });
+        let threads = exec::threads();
+        eprintln!("regress: running the reduced slate on {threads} thread(s)...");
+        let mut run = run_regress_slate(&reduced(), threads);
+        // stamp each fresh artifact with its figure's serial-equivalent
+        // wall time (sum of its jobs) — informational provenance, never
+        // compared against baselines
+        let per_figure: Vec<f64> = FIGURE_PREFIXES
+            .iter()
+            .map(|p| run.figure_serial_secs(p))
+            .collect();
+        for (report, secs) in run.reports_mut().into_iter().zip(&per_figure) {
+            report.wall_secs = *secs;
+        }
+        eprintln!(
+            "regress: slate done — {} jobs, serial-equivalent {:.1}s, elapsed {:.1}s ({:.2}x on {} thread(s))",
+            run.timings.len(),
+            run.serial_secs,
+            run.elapsed_secs,
+            run.serial_secs / run.elapsed_secs.max(1e-9),
+            run.threads,
+        );
+        fig1 = run.fig1.clone();
+        fig2 = run.fig2.clone();
+        pfs = run.pfs.clone();
+        io500 = run.io500.clone();
+        fault = run.fault.clone();
+        scrub = run.scrub.clone();
+        slate_run = Some(run);
     }
     let fresh = [&fig1, &fig2, &pfs, &io500, &fault, &scrub];
 
-    // ---- persist fresh reports for CI artifacts ----------------------
-    if !compare_only {
+    // ---- persist fresh reports + runner timing for CI artifacts ------
+    if let Some(run) = &slate_run {
         for report in fresh {
             if let Err(e) = report.write_to(&out) {
                 eprintln!("regress: cannot write {}: {e}", out.display());
                 std::process::exit(2);
             }
         }
+        let mut timing = String::new();
+        let _ = writeln!(
+            timing,
+            "threads={} jobs={} serial_secs={:.3} elapsed_secs={:.3} speedup={:.2}",
+            run.threads,
+            run.timings.len(),
+            run.serial_secs,
+            run.elapsed_secs,
+            run.serial_secs / run.elapsed_secs.max(1e-9),
+        );
+        for (label, secs) in &run.timings {
+            let _ = writeln!(timing, "{secs:10.3}s  {label}");
+        }
+        if let Err(e) = std::fs::create_dir_all(&out)
+            .and_then(|_| std::fs::write(out.join("timing.txt"), &timing))
+        {
+            eprintln!("regress: cannot write timing.txt: {e}");
+        }
+        // runner provenance: the measured speedup is itself a tracked
+        // artifact, so runner-overhead regressions show up in CI
+        rep.record("runner", 0, "threads", run.threads as f64);
+        rep.record("runner", 0, "jobs", run.timings.len() as f64);
+        rep.record("runner", 0, "serial_secs", run.serial_secs);
+        rep.record("runner", 0, "elapsed_secs", run.elapsed_secs);
+        rep.record(
+            "runner",
+            0,
+            "speedup",
+            run.serial_secs / run.elapsed_secs.max(1e-9),
+        );
     }
 
     if update {
@@ -227,11 +241,13 @@ fn main() {
     if compare_only {
         println!("(timeline shape checks skipped: no live sweep in --compare-only)");
     }
-    for t in &fault_rows {
-        check_fault_timeline(&mut rep, t);
-    }
-    for t in &rot_rows {
-        check_rot_timeline(&mut rep, t);
+    if let Some(run) = &slate_run {
+        for t in &run.fault_rows {
+            check_fault_timeline(&mut rep, t);
+        }
+        for t in &run.rot_rows {
+            check_rot_timeline(&mut rep, t);
+        }
     }
     for report in [&scrub] {
         for label in ["easy-fpp-1m", "hard-shared-64k"] {
@@ -254,6 +270,13 @@ fn main() {
 
     // ---- verdict -----------------------------------------------------
     let check_failures = rep.failures();
+    // the runner report (timing provenance) rides along as an artifact
+    let runner_report = rep.into_report();
+    if slate_run.is_some() {
+        if let Err(e) = runner_report.write_to(&out) {
+            eprintln!("regress: cannot write BENCH_regress.json: {e}");
+        }
+    }
     println!(
         "\nregress: {drift_violations} drift violation(s), {check_failures} invariant/shape failure(s)"
     );

@@ -7,12 +7,18 @@
 //! end with the rot reported, the extents repaired from redundancy, and
 //! every byte reading back identical.
 //!
+//! Every cell (four checksum-overhead points, four rot timelines) is an
+//! independent seeded sim, so the whole sweep runs as one slate
+//! (`--threads` / `BENCH_THREADS`; output is byte-identical at any
+//! thread count).
+//!
 //! ```text
 //! cargo run -p daos-bench --release --bin scrub_sweep
 //! ```
 
+use daos_bench::exec::{self, Slate};
 use daos_bench::figures::{
-    check_rot_timeline, csum_overhead_point, record_rot_timeline, rot_timeline,
+    check_rot_timeline, csum_overhead_point, record_rot_timeline, rot_timeline, RotTimeline,
 };
 use daos_bench::Reporter;
 use daos_placement::ObjectClass;
@@ -20,7 +26,14 @@ use daos_placement::ObjectClass;
 const NODES: u32 = 2;
 const PPN: u32 = 4;
 
+enum Cell {
+    /// `(fpp, csum_on, write_gib_s, read_gib_s)`
+    Csum(bool, bool, f64, f64),
+    Rot(RotTimeline),
+}
+
 fn main() {
+    exec::parse_threads_flag(std::env::args().skip(1).collect());
     let ec = ObjectClass::ErasureCoded {
         data: 2,
         parity: 1,
@@ -28,51 +41,79 @@ fn main() {
     };
     let mut rep = Reporter::new("scrub_sweep", 0x5C2B);
 
+    let mut slate = Slate::new();
+    for fpp in [true, false] {
+        for csum in [true, false] {
+            slate.push(
+                format!(
+                    "csum-{}-{}",
+                    if fpp { "easy" } else { "hard" },
+                    if csum { "on" } else { "off" }
+                ),
+                move || {
+                    let (w, r) = csum_overhead_point(csum, fpp, NODES, PPN);
+                    Cell::Csum(fpp, csum, w, r)
+                },
+            );
+        }
+    }
+    for class in [ObjectClass::RP_2GX, ec] {
+        for scrub in [false, true] {
+            slate.push(
+                format!("rot-{class}-{}", if scrub { "scrubber" } else { "client" }),
+                move || Cell::Rot(rot_timeline(class, scrub, 0x5C2B ^ scrub as u64)),
+            );
+        }
+    }
+    let cells: Vec<Cell> = slate
+        .run_auto()
+        .unwrap_or_else(|p| panic!("scrub sweep {p}"))
+        .into_iter()
+        .map(|r| r.value)
+        .collect();
+
+    // ---- phase A: checksum overhead ----------------------------------
     println!("# scrub sweep A: checksum overhead, {NODES} client nodes, {PPN} ppn");
     println!("pattern,csum,write_gib_s,read_gib_s");
-    let mut ratios = Vec::new();
-    for fpp in [true, false] {
-        let label = if fpp {
+    let mut on_off = [[0.0f64; 4]; 2]; // [fpp][w_on, r_on, w_off, r_off]
+    for cell in &cells {
+        let Cell::Csum(fpp, csum, w, r) = cell else {
+            continue;
+        };
+        let label = if *fpp {
             "easy-fpp-1m"
         } else {
             "hard-shared-64k"
         };
-        let (w_on, r_on) = csum_overhead_point(true, fpp, NODES, PPN);
-        let (w_off, r_off) = csum_overhead_point(false, fpp, NODES, PPN);
-        println!("{label},on,{w_on:.3},{r_on:.3}");
-        println!("{label},off,{w_off:.3},{r_off:.3}");
-        for (metric, v) in [
-            ("write_csum_on", w_on),
-            ("write_csum_off", w_off),
-            ("read_csum_on", r_on),
-            ("read_csum_off", r_off),
-        ] {
-            rep.record(label, NODES, metric, v);
-        }
-        ratios.push((label, "write", w_on / w_off));
-        ratios.push((label, "read", r_on / r_off));
+        let state = if *csum { "on" } else { "off" };
+        println!("{label},{state},{w:.3},{r:.3}");
+        let row = &mut on_off[!*fpp as usize];
+        let base = if *csum { 0 } else { 2 };
+        row[base] = *w;
+        row[base + 1] = *r;
+        let suffix = if *csum { "on" } else { "off" };
+        rep.record(label, NODES, &format!("write_csum_{suffix}"), *w);
+        rep.record(label, NODES, &format!("read_csum_{suffix}"), *r);
+    }
+    let mut ratios = Vec::new();
+    for (i, label) in ["easy-fpp-1m", "hard-shared-64k"].iter().enumerate() {
+        let [w_on, r_on, w_off, r_off] = on_off[i];
+        ratios.push((*label, "write", w_on / w_off));
+        ratios.push((*label, "read", r_on / r_off));
     }
 
+    // ---- phase B: rot detection timelines ----------------------------
     println!("\n# scrub sweep B: bit-rot detection timeline");
     println!("class,mode,rot_extents,detect_ms,reported,repairs_ok,bytes_equal,media_clean");
     let mut rows = Vec::new();
-    for class in [ObjectClass::RP_2GX, ec] {
-        for scrub in [false, true] {
-            let t = rot_timeline(class, scrub, 0x5C2B ^ scrub as u64);
-            println!(
-                "{},{},{},{:.3},{},{},{},{}",
-                t.class,
-                t.mode,
-                t.rot_extents,
-                t.detect_ms,
-                t.reported,
-                t.repairs_ok,
-                t.equal,
-                t.clean,
-            );
-            record_rot_timeline(rep.report_mut(), &t);
-            rows.push(t);
-        }
+    for cell in cells {
+        let Cell::Rot(t) = cell else { continue };
+        println!(
+            "{},{},{},{:.3},{},{},{},{}",
+            t.class, t.mode, t.rot_extents, t.detect_ms, t.reported, t.repairs_ok, t.equal, t.clean,
+        );
+        record_rot_timeline(rep.report_mut(), &t);
+        rows.push(t);
     }
 
     for (label, phase, ratio) in &ratios {

@@ -2,7 +2,9 @@
 //! figure binaries and the reduced-scale `regress` harness.
 //!
 //! Each runner executes one experiment at a caller-chosen scale, records
-//! its cells into a [`BenchReport`], and returns the raw measurements so
+//! its cells into any [`Record`] sink (a [`crate::report::BenchReport`]
+//! directly, or a [`crate::report::Fragment`] from a parallel slate
+//! job), and returns the raw measurements so
 //! binaries can keep their CSV/ASCII-chart output. Seeds are fixed per
 //! figure, so a reduced sweep's cells at a given node count are produced
 //! by the *same* simulations as the full figure's cells there (modulo the
@@ -25,7 +27,8 @@ use daos_sim::units::{gib_per_sec, KIB, MIB};
 use daos_sim::Sim;
 use daos_vos::Payload;
 
-use crate::report::{config_hash, BenchReport};
+use crate::exec::Slate;
+use crate::report::{config_hash, Record};
 use crate::{paper_cluster, paper_params, run_sweep, ExperimentPoint, Measurement};
 
 /// The figure binaries' full scale axis.
@@ -39,7 +42,20 @@ pub const FULL_REPEATS: u64 = 5;
 /// average, and the tolerance bands absorb that difference.
 pub const REDUCED_REPEATS: u64 = 1;
 
-const PPN: u32 = 16;
+/// Processes per client node in every figure sweep (the paper's layout).
+pub const PPN: u32 = 16;
+
+/// Repeat count for the standalone sweep binaries (`oclass_sweep`,
+/// `daos_api`, `calibrate`, …): the `BENCH_REPEATS` environment variable
+/// overrides — CI smoke runs set `BENCH_REPEATS=1` to get
+/// [`REDUCED_REPEATS`]-scale runs consistently — else [`FULL_REPEATS`].
+pub fn sweep_repeats() -> u64 {
+    std::env::var("BENCH_REPEATS")
+        .ok()
+        .and_then(|v| v.parse::<u64>().ok())
+        .filter(|&n| n > 0)
+        .unwrap_or(FULL_REPEATS)
+}
 
 /// Cross product of the paper's interface × object-class grid.
 pub fn grid_points(apis: &[Api], classes: &[ObjectClass], nodes: &[u32]) -> Vec<ExperimentPoint> {
@@ -68,8 +84,8 @@ pub fn figure_classes() -> [ObjectClass; 3] {
     [ObjectClass::S1, ObjectClass::S2, ObjectClass::SX]
 }
 
-fn record_sweep(report: &mut BenchReport, ms: &[Measurement], top_nodes: u32) {
-    report.config_hash = config_hash(&paper_cluster(top_nodes));
+pub(crate) fn record_sweep(report: &mut impl Record, ms: &[Measurement], top_nodes: u32) {
+    report.set_config_hash(config_hash(&paper_cluster(top_nodes)));
     for m in ms {
         report.record(
             &m.series(),
@@ -86,18 +102,23 @@ fn record_sweep(report: &mut BenchReport, ms: &[Measurement], top_nodes: u32) {
     }
 }
 
+/// Figure 1's root seed (each cell salts it with scale and repeat).
+pub const FIG1_SEED: u64 = 0xF161;
+/// Figure 2's root seed.
+pub const FIG2_SEED: u64 = 0xF162;
+
 /// Figure 1 (IOR file-per-process) over the given scale axis.
-pub fn run_fig1(report: &mut BenchReport, nodes: &[u32], repeats: u64) -> Vec<Measurement> {
+pub fn run_fig1(report: &mut impl Record, nodes: &[u32], repeats: u64) -> Vec<Measurement> {
     let points = grid_points(&figure_apis(), &figure_classes(), nodes);
-    let ms = run_sweep(points, true, PPN, 0xF161, repeats);
+    let ms = run_sweep(points, true, PPN, FIG1_SEED, repeats);
     record_sweep(report, &ms, *nodes.iter().max().unwrap());
     ms
 }
 
 /// Figure 2 (IOR shared-file) over the given scale axis.
-pub fn run_fig2(report: &mut BenchReport, nodes: &[u32], repeats: u64) -> Vec<Measurement> {
+pub fn run_fig2(report: &mut impl Record, nodes: &[u32], repeats: u64) -> Vec<Measurement> {
     let points = grid_points(&figure_apis(), &figure_classes(), nodes);
-    let ms = run_sweep(points, false, PPN, 0xF162, repeats);
+    let ms = run_sweep(points, false, PPN, FIG2_SEED, repeats);
     record_sweep(report, &ms, *nodes.iter().max().unwrap());
     ms
 }
@@ -127,7 +148,13 @@ impl PfsContrastRow {
     }
 }
 
-fn pfs_point(nodes: u32, fpp: bool) -> (IorReport, u64) {
+/// Per-rank block size of the contrast cells (lock ping-pong makes big
+/// runs slow); smoke-scale runs pass something smaller.
+pub const PFS_BLOCK: u64 = 16 << 20;
+
+/// One PFS cell: IOR on the Lustre-like filesystem, returning the run
+/// report and the LDLM extent-lock revoke count.
+pub(crate) fn pfs_point(nodes: u32, fpp: bool, block: u64, ppn: u32) -> (IorReport, u64) {
     let mut sim = Sim::new(0x1F5 ^ nodes as u64);
     sim.block_on(move |sim| async move {
         let fs = Pfs::build(PfsConfig {
@@ -135,14 +162,15 @@ fn pfs_point(nodes: u32, fpp: bool) -> (IorReport, u64) {
             stripe_count: 4,
             ..Default::default()
         });
-        let mut p = paper_params(Api::Posix { il: false }, ObjectClass::S1, fpp, PPN);
-        p.block_size = 16 << 20; // lock ping-pong makes big runs slow
+        let mut p = paper_params(Api::Posix { il: false }, ObjectClass::S1, fpp, ppn);
+        p.block_size = block;
         let r = run_pfs(&sim, &fs, p).await.expect("pfs run");
         (r, fs.stats().revokes)
     })
 }
 
-fn daos_point(nodes: u32, fpp: bool) -> IorReport {
+/// One DAOS cell of the contrast experiment.
+pub(crate) fn daos_point(nodes: u32, fpp: bool, block: u64, ppn: u32) -> IorReport {
     let mut sim = Sim::new(0x1F6 ^ nodes as u64);
     sim.block_on(move |sim| async move {
         let env = DaosTestbed::setup(
@@ -153,26 +181,68 @@ fn daos_point(nodes: u32, fpp: bool) -> IorReport {
         )
         .await
         .expect("testbed");
-        let mut p = paper_params(Api::Dfs, ObjectClass::SX, fpp, PPN);
-        p.block_size = 16 << 20;
+        let mut p = paper_params(Api::Dfs, ObjectClass::SX, fpp, ppn);
+        p.block_size = block;
         run(&sim, &env, p).await.expect("daos run")
     })
 }
 
 /// The same IOR workloads on DAOS and on the Lustre-like PFS, FPP and
-/// shared, at each scale.
-pub fn run_pfs_contrast(report: &mut BenchReport, nodes: &[u32]) -> Vec<PfsContrastRow> {
-    let mut rows = Vec::new();
+/// shared, at each scale. Rows run as independent jobs on the shared
+/// slate executor (four seeded sims per scale, one per cell).
+pub fn run_pfs_contrast(report: &mut impl Record, nodes: &[u32]) -> Vec<PfsContrastRow> {
+    run_pfs_contrast_sized(report, nodes, crate::exec::threads(), PFS_BLOCK, PPN)
+}
+
+/// [`run_pfs_contrast`] with explicit thread count, block size and ppn —
+/// the schedule-independence tests drive this directly at several thread
+/// counts and a smoke scale.
+pub fn run_pfs_contrast_sized(
+    report: &mut impl Record,
+    nodes: &[u32],
+    threads: usize,
+    block: u64,
+    ppn: u32,
+) -> Vec<PfsContrastRow> {
+    // per scale, in submission order: pfs-fpp, pfs-shared, daos-fpp,
+    // daos-shared — the reducer below reassembles rows in chunks of 4
+    let mut slate = Slate::new();
     for &n in nodes {
-        let (pfs_fpp, _) = pfs_point(n, true);
-        let (pfs_shared, revokes) = pfs_point(n, false);
+        for fpp in [true, false] {
+            slate.push(
+                format!(
+                    "pfs_contrast/pfs-{}/{n}n",
+                    if fpp { "fpp" } else { "shared" }
+                ),
+                move || pfs_point(n, fpp, block, ppn),
+            );
+        }
+        for fpp in [true, false] {
+            slate.push(
+                format!(
+                    "pfs_contrast/daos-{}/{n}n",
+                    if fpp { "fpp" } else { "shared" }
+                ),
+                move || {
+                    let r = daos_point(n, fpp, block, ppn);
+                    (r, 0u64)
+                },
+            );
+        }
+    }
+    let cells = slate
+        .run(threads)
+        .unwrap_or_else(|p| panic!("pfs contrast {p}"));
+
+    let mut rows = Vec::new();
+    for (&n, chunk) in nodes.iter().zip(cells.chunks_exact(4)) {
         let row = PfsContrastRow {
             nodes: n,
-            pfs_fpp,
-            pfs_shared,
-            revokes,
-            daos_fpp: daos_point(n, true),
-            daos_shared: daos_point(n, false),
+            pfs_fpp: chunk[0].value.0,
+            pfs_shared: chunk[1].value.0,
+            revokes: chunk[1].value.1,
+            daos_fpp: chunk[2].value.0,
+            daos_shared: chunk[3].value.0,
         };
         for (series, rep) in [
             ("pfs-fpp", &row.pfs_fpp),
@@ -183,10 +253,10 @@ pub fn run_pfs_contrast(report: &mut BenchReport, nodes: &[u32]) -> Vec<PfsContr
             report.record(series, n, "write_gib_s", rep.write_gib_s());
             report.record(series, n, "read_gib_s", rep.read_gib_s());
         }
-        report.record("pfs-shared", n, "lock_revokes", revokes as f64);
+        report.record("pfs-shared", n, "lock_revokes", row.revokes as f64);
         rows.push(row);
     }
-    report.config_hash = config_hash(&paper_cluster(*nodes.iter().max().unwrap()));
+    report.set_config_hash(config_hash(&paper_cluster(*nodes.iter().max().unwrap())));
     rows
 }
 
@@ -206,7 +276,12 @@ pub struct Io500Result {
 
 /// ior-easy + ior-hard + mdtest-easy, combined with the IO500 geometric
 /// mean, at one scale.
-pub fn run_io500(report: &mut BenchReport, nodes: u32, ppn: u32) -> Io500Result {
+pub fn run_io500(report: &mut impl Record, nodes: u32, ppn: u32) -> Io500Result {
+    run_io500_sized(report, nodes, ppn, 16 << 20)
+}
+
+/// [`run_io500`] with an explicit per-rank block size (smoke scale).
+pub fn run_io500_sized(report: &mut impl Record, nodes: u32, ppn: u32, block: u64) -> Io500Result {
     let mut sim = Sim::new(0x10500);
     let (easy, hard, md) = sim.block_on(move |sim| async move {
         let env = DaosTestbed::setup(
@@ -220,7 +295,7 @@ pub fn run_io500(report: &mut BenchReport, nodes: u32, ppn: u32) -> Io500Result 
         // ior-easy: file-per-process, free choice of class -> S2
         let easy = run(&sim, &env, {
             let mut p = paper_params(Api::Dfs, ObjectClass::S2, true, ppn);
-            p.block_size = 16 << 20;
+            p.block_size = block;
             p
         })
         .await
@@ -228,7 +303,7 @@ pub fn run_io500(report: &mut BenchReport, nodes: u32, ppn: u32) -> Io500Result 
         // ior-hard: single shared file -> SX
         let hard = run(&sim, &env, {
             let mut p = paper_params(Api::Dfs, ObjectClass::SX, false, ppn);
-            p.block_size = 16 << 20;
+            p.block_size = block;
             p
         })
         .await
@@ -254,7 +329,7 @@ pub fn run_io500(report: &mut BenchReport, nodes: u32, ppn: u32) -> Io500Result 
     ]);
     let total = (bw_score * md_score).sqrt();
 
-    report.config_hash = config_hash(&paper_cluster(nodes));
+    report.set_config_hash(config_hash(&paper_cluster(nodes)));
     report.record("ior-easy", nodes, "write_gib_s", easy.write_gib_s());
     report.record("ior-easy", nodes, "read_gib_s", easy.read_gib_s());
     report.record("ior-hard", nodes, "write_gib_s", hard.write_gib_s());
@@ -414,7 +489,7 @@ pub fn fault_timeline(class: ObjectClass, nodes: u32, ppn: u32, per_rank: u64) -
 }
 
 /// Record one fault timeline into a report (series = object class).
-pub fn record_fault_timeline(report: &mut BenchReport, t: &FaultTimeline) {
+pub fn record_fault_timeline(report: &mut impl Record, t: &FaultTimeline) {
     let s = t.class.to_string();
     let n = t.client_nodes;
     report.record(&s, n, "write_gib_s", t.write);
@@ -469,6 +544,17 @@ pub fn check_fault_timeline(rep: &mut crate::Reporter, t: &FaultTimeline) {
 /// isolates the verify-on-write / csum-on-fetch cost. Returns
 /// (write GiB/s, read GiB/s).
 pub fn csum_overhead_point(csum: bool, fpp: bool, nodes: u32, ppn: u32) -> (f64, f64) {
+    csum_overhead_point_sized(csum, fpp, nodes, ppn, 8 * MIB)
+}
+
+/// [`csum_overhead_point`] with an explicit per-rank block (smoke scale).
+pub fn csum_overhead_point_sized(
+    csum: bool,
+    fpp: bool,
+    nodes: u32,
+    ppn: u32,
+    block: u64,
+) -> (f64, f64) {
     let mut sim = Sim::new(0x5C2B);
     sim.block_on(move |sim| async move {
         let mut cfg = paper_cluster(nodes);
@@ -478,7 +564,7 @@ pub fn csum_overhead_point(csum: bool, fpp: bool, nodes: u32, ppn: u32) -> (f64,
             .await
             .expect("testbed");
         let mut p = IorParams::paper_default(Api::Dfs, ObjectClass::S2, fpp, ppn);
-        p.block_size = 8 * MIB;
+        p.block_size = block;
         if !fpp {
             p.transfer_size = 64 * KIB;
         }
@@ -608,7 +694,7 @@ pub fn rot_timeline(class: ObjectClass, scrub: bool, seed: u64) -> RotTimeline {
 }
 
 /// Record one rot timeline (series = `<class>/<mode>`, scale-less).
-pub fn record_rot_timeline(report: &mut BenchReport, t: &RotTimeline) {
+pub fn record_rot_timeline(report: &mut impl Record, t: &RotTimeline) {
     let s = format!("{}/{}", t.class, t.mode);
     report.record(&s, 0, "rot_extents", t.rot_extents as f64);
     report.record(&s, 0, "detect_ms", t.detect_ms);

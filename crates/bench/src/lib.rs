@@ -5,10 +5,17 @@
 //! holds the shared sweep and reporting machinery:
 //!
 //! * [`ExperimentPoint`] — one (api, object class, client-node count) cell;
-//! * [`run_sweep`] — executes every point, **in parallel across host
-//!   threads** (one deterministic `Sim` per point, fanned out with
-//!   `crossbeam::scope` — simulations are independent, so this is the
-//!   embarrassingly parallel axis);
+//! * [`exec`] — the deterministic parallel job runner: an ordered
+//!   [`exec::Slate`] of `(label, seeded closure)` jobs fanned across host
+//!   threads with results reduced **in submission order**, so every
+//!   artifact is byte-identical at any thread count (`--threads` /
+//!   `BENCH_THREADS`; `1` = serial);
+//! * [`run_sweep`] — executes every point as slate jobs (one
+//!   deterministic `Sim` per point — simulations are independent, so
+//!   this is the embarrassingly parallel axis);
+//! * [`slate`] — the `regress` gate's full job slate (every reduced
+//!   figure decomposed into independent cells) plus its per-job
+//!   wall-time accounting;
 //! * [`figures`] — scale-parameterized runners for every figure, shared
 //!   between the full binaries and the reduced-scale `regress` harness;
 //! * [`Reporter`] — per-binary ledger: records metrics into a
@@ -36,9 +43,11 @@ use daos_placement::ObjectClass;
 use daos_sim::Sim;
 
 pub mod baseline;
+pub mod exec;
 pub mod figures;
 pub mod invariants;
 pub mod report;
+pub mod slate;
 
 use report::BenchReport;
 
@@ -134,7 +143,9 @@ pub fn run_point_with(
     Measurement { point, report }
 }
 
-/// Run every point, parallel across host threads, ordered output.
+/// Run every point as independent jobs on the slate executor
+/// ([`exec::Slate`]), parallel across host threads, reduced in
+/// submission order — output is byte-identical at any thread count.
 pub fn run_sweep(
     points: Vec<ExperimentPoint>,
     fpp: bool,
@@ -142,33 +153,37 @@ pub fn run_sweep(
     seed: u64,
     repeats: u64,
 ) -> Vec<Measurement> {
-    let n_threads = std::thread::available_parallelism()
-        .map(|p| p.get())
-        .unwrap_or(4)
-        .min(points.len().max(1));
-    let mut results: Vec<Option<Measurement>> = (0..points.len()).map(|_| None).collect();
-    let next = std::sync::atomic::AtomicUsize::new(0);
-    let slots: Vec<std::sync::Mutex<Option<Measurement>>> = results
-        .iter()
-        .map(|_| std::sync::Mutex::new(None))
-        .collect();
-    crossbeam::scope(|scope| {
-        for _ in 0..n_threads {
-            scope.spawn(|_| loop {
-                let i = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
-                if i >= points.len() {
-                    break;
-                }
-                let m = run_point(points[i], fpp, ppn, seed, repeats);
-                *slots[i].lock().unwrap() = Some(m);
-            });
-        }
-    })
-    .expect("sweep threads");
-    for (i, slot) in slots.into_iter().enumerate() {
-        results[i] = slot.into_inner().unwrap();
+    run_sweep_threads(points, fpp, ppn, seed, repeats, exec::threads())
+}
+
+/// [`run_sweep`] with an explicit thread count (the schedule-independence
+/// tests pin 1, 2 and 8; binaries resolve [`exec::threads`]).
+pub fn run_sweep_threads(
+    points: Vec<ExperimentPoint>,
+    fpp: bool,
+    ppn: u32,
+    seed: u64,
+    repeats: u64,
+    threads: usize,
+) -> Vec<Measurement> {
+    let mut slate = exec::Slate::new();
+    for point in points {
+        slate.push(
+            format!(
+                "{}-{}/{}n",
+                point.api.name(),
+                point.oclass,
+                point.client_nodes
+            ),
+            move || run_point(point, fpp, ppn, seed, repeats),
+        );
     }
-    results.into_iter().map(|m| m.expect("point ran")).collect()
+    slate
+        .run(threads)
+        .unwrap_or_else(|p| panic!("sweep {p}"))
+        .into_iter()
+        .map(|r| r.value)
+        .collect()
 }
 
 /// Emit a figure as CSV: `series,client_nodes,write_gib_s,read_gib_s`.

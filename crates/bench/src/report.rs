@@ -476,6 +476,72 @@ impl<'a> Parser<'a> {
     }
 }
 
+// ---------------------------------------------------------------------
+// Recording sinks: reports and parallel-job fragments
+// ---------------------------------------------------------------------
+
+/// Anything metrics can be recorded into: a [`BenchReport`] directly
+/// (the serial path) or a [`Fragment`] produced by one parallel job and
+/// merged later. Figure runners take `&mut impl Record`, so the same
+/// runner body serves both execution modes.
+pub trait Record {
+    /// Record one metric value for a (series, scale) cell.
+    fn record(&mut self, series: &str, scale: u32, metric: &str, value: f64);
+    /// Stamp the testbed config hash ([`config_hash`]).
+    fn set_config_hash(&mut self, hash: u64);
+}
+
+impl Record for BenchReport {
+    fn record(&mut self, series: &str, scale: u32, metric: &str, value: f64) {
+        BenchReport::record(self, series, scale, metric, value);
+    }
+    fn set_config_hash(&mut self, hash: u64) {
+        self.config_hash = hash;
+    }
+}
+
+/// The ordered batch of records one parallel job produces. Fragments are
+/// replayed into a [`BenchReport`] **in job submission order**, so a
+/// slate reduced on any thread count serializes to the same bytes as the
+/// serial run. (Cells land in `BTreeMap`s keyed by series/scale/metric,
+/// so the replay order only matters if two jobs wrote the same cell —
+/// the ordered merge makes even that case schedule-independent.)
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct Fragment {
+    /// `(series, scale, metric, value)` in record order.
+    pub records: Vec<(String, u32, String, f64)>,
+    /// Config hash, when the job knows the testbed it ran on.
+    pub config_hash: Option<u64>,
+}
+
+impl Fragment {
+    /// Empty fragment.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Replay this fragment's records (and config hash, if any) into a
+    /// report or another sink.
+    pub fn replay_into(&self, sink: &mut impl Record) {
+        for (series, scale, metric, value) in &self.records {
+            sink.record(series, *scale, metric, *value);
+        }
+        if let Some(h) = self.config_hash {
+            sink.set_config_hash(h);
+        }
+    }
+}
+
+impl Record for Fragment {
+    fn record(&mut self, series: &str, scale: u32, metric: &str, value: f64) {
+        self.records
+            .push((series.to_string(), scale, metric.to_string(), value));
+    }
+    fn set_config_hash(&mut self, hash: u64) {
+        self.config_hash = Some(hash);
+    }
+}
+
 /// FNV-1a over the config's `Debug` rendering: any field change — media
 /// timings, fabric widths, engine knobs — lands in the hash, so baselines
 /// carry which testbed produced them without serializing every field.

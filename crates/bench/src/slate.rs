@@ -1,0 +1,407 @@
+//! The `regress` gate's job slate: every reduced-scale figure decomposed
+//! into independent, seeded, single-threaded jobs on the [`crate::exec`]
+//! runner.
+//!
+//! The serial `regress` ran its six figures one after another, and CI
+//! latency was bounded by the 16-node cells. Here each figure cell — an
+//! IOR sweep point, a PFS-contrast cell, the IO500 composite, a fault or
+//! rot timeline, a checksum-overhead point — is one job with a fixed
+//! seed, so the whole gate fans out across host threads. Reduction is by
+//! *(series, scale, metric)* key into `BTreeMap`-backed reports, applied
+//! in submission order, so the six `BenchReport`s (and everything
+//! derived from them: JSON, drift tables, invariant verdicts) are
+//! byte-identical regardless of thread count or schedule.
+//!
+//! Heavy jobs (largest node counts) are submitted first so a straggler
+//! 16-node cell overlaps the tail of small cells — submission order is a
+//! scheduling hint only, never an output order dependency.
+//!
+//! Scales: [`reduced`] is the CI gate (exactly the pre-executor regress
+//! workload, cell for cell, seed for seed — committed baselines stay
+//! valid); [`smoke`] is a miniature of the same slate for the
+//! schedule-independence tests and the CI `--threads 1` cross-check.
+
+use daos_placement::ObjectClass;
+use daos_sim::units::MIB;
+
+use crate::exec::Slate;
+use crate::figures::{
+    csum_overhead_point_sized, daos_point, fault_timeline, figure_apis, figure_classes,
+    grid_points, pfs_point, record_fault_timeline, record_rot_timeline, record_sweep, rot_timeline,
+    run_io500_sized, FaultTimeline, RotTimeline, FIG1_SEED, FIG2_SEED, PPN, REDUCED_NODES,
+    REDUCED_REPEATS,
+};
+use crate::report::{config_hash, BenchReport, Fragment, Record};
+use crate::{paper_cluster, paper_params, run_point_with, Measurement};
+
+/// Scale knobs for one regress slate run.
+#[derive(Clone, Debug)]
+pub struct SlateScale {
+    /// Figure / PFS-contrast node axis (ascending).
+    pub nodes: Vec<u32>,
+    /// Placement repeats per figure cell.
+    pub repeats: u64,
+    /// Per-rank block override for figure cells; `None` = the paper's
+    /// 32 MiB ([`crate::paper_params`]).
+    pub fig_block: Option<u64>,
+    /// Processes per node for the figure cells.
+    pub fig_ppn: u32,
+    /// Per-rank block for the PFS-contrast cells.
+    pub pfs_block: u64,
+    /// Processes per node for the PFS-contrast cells.
+    pub pfs_ppn: u32,
+    /// IO500 composite: client nodes, ppn, per-rank block.
+    pub io500_nodes: u32,
+    pub io500_ppn: u32,
+    pub io500_block: u64,
+    /// Fault timeline: client nodes, ppn, bytes per rank.
+    pub fault_nodes: u32,
+    pub fault_ppn: u32,
+    pub fault_per_rank: u64,
+    /// Checksum-overhead cells: client nodes, ppn, per-rank block.
+    pub csum_nodes: u32,
+    pub csum_ppn: u32,
+    pub csum_block: u64,
+}
+
+/// The CI gate's reduced scale — exactly the workload the serial regress
+/// ran: same cells, same seeds, same volumes, so the committed baselines
+/// in `results/baselines/` compare unchanged.
+pub fn reduced() -> SlateScale {
+    SlateScale {
+        nodes: REDUCED_NODES.to_vec(),
+        repeats: REDUCED_REPEATS,
+        fig_block: None,
+        fig_ppn: PPN,
+        pfs_block: 16 << 20,
+        pfs_ppn: PPN,
+        io500_nodes: 4,
+        io500_ppn: 8,
+        io500_block: 16 << 20,
+        fault_nodes: 2,
+        fault_ppn: 4,
+        fault_per_rank: 4 * MIB,
+        csum_nodes: 2,
+        csum_ppn: 4,
+        csum_block: 8 * MIB,
+    }
+}
+
+/// A miniature of the same slate (every figure, every job kind, tiny
+/// volumes) for the schedule-independence tests and CI cross-checks —
+/// cheap enough to run at several thread counts in a debug test.
+pub fn smoke() -> SlateScale {
+    SlateScale {
+        nodes: vec![1, 2],
+        repeats: 1,
+        fig_block: Some(MIB),
+        fig_ppn: 4,
+        pfs_block: MIB,
+        pfs_ppn: 4,
+        io500_nodes: 2,
+        io500_ppn: 2,
+        io500_block: MIB,
+        fault_nodes: 2,
+        fault_ppn: 2,
+        fault_per_rank: MIB,
+        csum_nodes: 2,
+        csum_ppn: 2,
+        csum_block: MIB,
+    }
+}
+
+/// One job's contribution, tagged with where it lands; reduction keys on
+/// these tags, never on completion (or even submission) position.
+enum JobOut {
+    /// A Figure 1 / Figure 2 sweep cell (`fig` = 1 or 2).
+    FigCell { fig: u8, m: Measurement },
+    /// One PFS-contrast cell; `kind` indexes [pfs-fpp, pfs-shared,
+    /// daos-fpp, daos-shared].
+    PfsCell {
+        nodes: u32,
+        kind: usize,
+        write_gib_s: f64,
+        read_gib_s: f64,
+        revokes: u64,
+    },
+    /// The IO500 composite's records.
+    Io500(Fragment),
+    /// The engine-crash timeline (kept whole for the shape checks).
+    Fault(FaultTimeline),
+    /// One checksum-overhead cell.
+    Csum {
+        fpp: bool,
+        csum: bool,
+        write: f64,
+        read: f64,
+    },
+    /// One bit-rot timeline (kept whole for the shape checks).
+    Rot(RotTimeline),
+}
+
+const PFS_SERIES: [&str; 4] = ["pfs-fpp", "pfs-shared", "daos-fpp", "daos-shared"];
+
+/// Everything one slate run produces: the six figure reports (wall_secs
+/// left at 0.0 — they are fully schedule-independent), the timeline rows
+/// the robustness checks need, and the runner's own wall-time
+/// accounting (schedule-dependent by nature, reported out-of-band).
+pub struct RegressRun {
+    pub fig1: BenchReport,
+    pub fig2: BenchReport,
+    pub pfs: BenchReport,
+    pub io500: BenchReport,
+    pub fault: BenchReport,
+    pub scrub: BenchReport,
+    /// Fault timelines in submission order, for the shape checks.
+    pub fault_rows: Vec<FaultTimeline>,
+    /// Rot timelines in submission order, for the shape checks.
+    pub rot_rows: Vec<RotTimeline>,
+    /// Per-job `(label, wall_secs)` in submission order.
+    pub timings: Vec<(String, f64)>,
+    /// Sum of per-job wall times ≈ what a `--threads 1` run costs.
+    pub serial_secs: f64,
+    /// Host wall time of the whole slate at the chosen thread count.
+    pub elapsed_secs: f64,
+    /// Thread count the slate ran with.
+    pub threads: usize,
+}
+
+impl RegressRun {
+    /// The six figure reports, in the gate's fixed order.
+    pub fn reports(&self) -> [&BenchReport; 6] {
+        [
+            &self.fig1,
+            &self.fig2,
+            &self.pfs,
+            &self.io500,
+            &self.fault,
+            &self.scrub,
+        ]
+    }
+
+    /// Mutable view, same order (the `regress` binary stamps wall
+    /// times into the fresh artifacts before writing them).
+    pub fn reports_mut(&mut self) -> [&mut BenchReport; 6] {
+        [
+            &mut self.fig1,
+            &mut self.fig2,
+            &mut self.pfs,
+            &mut self.io500,
+            &mut self.fault,
+            &mut self.scrub,
+        ]
+    }
+
+    /// Serial-equivalent seconds attributed to one figure's jobs, from
+    /// the label prefix (`fig1/…`, `pfs/…`, …).
+    pub fn figure_serial_secs(&self, prefix: &str) -> f64 {
+        self.timings
+            .iter()
+            .filter(|(label, _)| label.starts_with(prefix))
+            .map(|(_, s)| s)
+            .sum()
+    }
+}
+
+/// Build and run the whole regress slate at `scale` across `threads`
+/// host threads. Panics (with the offending job's label) if any job
+/// panics — the gate must fail loudly, not partially.
+pub fn run_regress_slate(scale: &SlateScale, threads: usize) -> RegressRun {
+    let mut slate: Slate<'_, JobOut> = Slate::new();
+
+    // Heaviest first: figure and PFS cells at the largest node counts
+    // dominate the gate's critical path.
+    for &n in scale.nodes.iter().rev() {
+        for fig in [1u8, 2u8] {
+            let (fpp, seed) = if fig == 1 {
+                (true, FIG1_SEED)
+            } else {
+                (false, FIG2_SEED)
+            };
+            for point in grid_points(&figure_apis(), &figure_classes(), &[n]) {
+                let fig_block = scale.fig_block;
+                let fig_ppn = scale.fig_ppn;
+                let repeats = scale.repeats;
+                slate.push(
+                    format!("fig{fig}/{}-{}/{n}n", point.api.name(), point.oclass),
+                    move || {
+                        let mut params = paper_params(point.api, point.oclass, fpp, fig_ppn);
+                        if let Some(b) = fig_block {
+                            params.block_size = b;
+                        }
+                        JobOut::FigCell {
+                            fig,
+                            m: run_point_with(point, params, seed, repeats),
+                        }
+                    },
+                );
+            }
+        }
+        for (kind, series) in PFS_SERIES.iter().enumerate() {
+            let block = scale.pfs_block;
+            let ppn = scale.pfs_ppn;
+            slate.push(format!("pfs/{series}/{n}n"), move || {
+                let fpp = kind % 2 == 0;
+                let (rep, revokes) = if kind < 2 {
+                    pfs_point(n, fpp, block, ppn)
+                } else {
+                    (daos_point(n, fpp, block, ppn), 0)
+                };
+                JobOut::PfsCell {
+                    nodes: n,
+                    kind,
+                    write_gib_s: rep.write_gib_s(),
+                    read_gib_s: rep.read_gib_s(),
+                    revokes,
+                }
+            });
+        }
+    }
+
+    {
+        let (n, ppn, block) = (scale.io500_nodes, scale.io500_ppn, scale.io500_block);
+        slate.push(format!("io500/{n}n"), move || {
+            let mut frag = Fragment::new();
+            run_io500_sized(&mut frag, n, ppn, block);
+            JobOut::Io500(frag)
+        });
+    }
+
+    {
+        let (n, ppn, per_rank) = (scale.fault_nodes, scale.fault_ppn, scale.fault_per_rank);
+        slate.push("fault/RP_2GX", move || {
+            JobOut::Fault(fault_timeline(ObjectClass::RP_2GX, n, ppn, per_rank))
+        });
+    }
+
+    // checksum overhead: fpp × csum grid, same seed per cell as the
+    // serial gate (the sim seed is fixed inside csum_overhead_point)
+    for fpp in [true, false] {
+        for csum in [true, false] {
+            let (n, ppn, block) = (scale.csum_nodes, scale.csum_ppn, scale.csum_block);
+            slate.push(
+                format!(
+                    "scrub/csum-{}-{}",
+                    if fpp { "easy" } else { "hard" },
+                    if csum { "on" } else { "off" }
+                ),
+                move || {
+                    let (write, read) = csum_overhead_point_sized(csum, fpp, n, ppn, block);
+                    JobOut::Csum {
+                        fpp,
+                        csum,
+                        write,
+                        read,
+                    }
+                },
+            );
+        }
+    }
+
+    for scrub_mode in [false, true] {
+        slate.push(
+            format!(
+                "scrub/rot-RP_2GX-{}",
+                if scrub_mode {
+                    "scrubber"
+                } else {
+                    "client-read"
+                }
+            ),
+            move || {
+                JobOut::Rot(rot_timeline(
+                    ObjectClass::RP_2GX,
+                    scrub_mode,
+                    0x5C2B ^ scrub_mode as u64,
+                ))
+            },
+        );
+    }
+
+    // ---- run ----------------------------------------------------------
+    // simlint: allow(D02) whole-slate wall-time provenance; reported out-of-band, never compared against baselines
+    let t0 = std::time::Instant::now();
+    let results = slate
+        .run(threads)
+        .unwrap_or_else(|p| panic!("regress slate {p}"));
+    let elapsed_secs = t0.elapsed().as_secs_f64();
+
+    // ---- ordered reduction -------------------------------------------
+    let mut run = RegressRun {
+        fig1: BenchReport::new("fig1_fpp", FIG1_SEED),
+        fig2: BenchReport::new("fig2_shared", FIG2_SEED),
+        pfs: BenchReport::new("pfs_contrast", 0x1F5),
+        io500: BenchReport::new("io500", 0x10500),
+        fault: BenchReport::new("fault_sweep", 0xFA17),
+        scrub: BenchReport::new("scrub_sweep", 0x5C2B),
+        fault_rows: Vec::new(),
+        rot_rows: Vec::new(),
+        timings: Vec::new(),
+        serial_secs: 0.0,
+        elapsed_secs,
+        threads,
+    };
+    let top = *scale.nodes.iter().max().expect("non-empty node axis");
+    let (mut fig1_ms, mut fig2_ms) = (Vec::new(), Vec::new());
+    for job in results {
+        run.serial_secs += job.wall_secs;
+        run.timings.push((job.label, job.wall_secs));
+        match job.value {
+            JobOut::FigCell { fig: 1, m } => fig1_ms.push(m),
+            JobOut::FigCell { m, .. } => fig2_ms.push(m),
+            JobOut::PfsCell {
+                nodes,
+                kind,
+                write_gib_s,
+                read_gib_s,
+                revokes,
+            } => {
+                let series = PFS_SERIES[kind];
+                run.pfs.record(series, nodes, "write_gib_s", write_gib_s);
+                run.pfs.record(series, nodes, "read_gib_s", read_gib_s);
+                if kind == 1 {
+                    run.pfs
+                        .record(series, nodes, "lock_revokes", revokes as f64);
+                }
+            }
+            JobOut::Io500(frag) => frag.replay_into(&mut run.io500),
+            JobOut::Fault(t) => {
+                record_fault_timeline(&mut run.fault, &t);
+                run.fault_rows.push(t);
+            }
+            JobOut::Csum {
+                fpp,
+                csum,
+                write,
+                read,
+            } => {
+                let label = if fpp {
+                    "easy-fpp-1m"
+                } else {
+                    "hard-shared-64k"
+                };
+                let suffix = if csum { "on" } else { "off" };
+                run.scrub.record(
+                    label,
+                    scale.csum_nodes,
+                    &format!("write_csum_{suffix}"),
+                    write,
+                );
+                run.scrub.record(
+                    label,
+                    scale.csum_nodes,
+                    &format!("read_csum_{suffix}"),
+                    read,
+                );
+            }
+            JobOut::Rot(t) => {
+                record_rot_timeline(&mut run.scrub, &t);
+                run.rot_rows.push(t);
+            }
+        }
+    }
+    record_sweep(&mut run.fig1, &fig1_ms, top);
+    record_sweep(&mut run.fig2, &fig2_ms, top);
+    run.pfs.set_config_hash(config_hash(&paper_cluster(top)));
+    run
+}

@@ -1,0 +1,75 @@
+//! Property tests for the slate executor: for *any* job count, per-job
+//! duration profile, and thread count, the ordered reduction must return
+//! exactly the fragment sequence the serial reference produces. This is
+//! the schedule-independence half of the determinism contract — the other
+//! half (seeded sims) is exercised by `tests/tests/parallel_determinism.rs`.
+
+use proptest::prelude::*;
+
+use daos_bench::exec::Slate;
+
+/// Deterministic per-job payload: what a real slate job would serialize
+/// into a fragment (label is carried by the executor itself).
+fn payload(i: usize, salt: u64) -> (u64, String) {
+    let v = (i as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15) ^ salt;
+    (v, format!("frag-{i}-{v:016x}"))
+}
+
+/// Build a slate whose jobs stall for `delays_us[i]` microseconds before
+/// returning `payload(i)` — adversarial durations force out-of-order
+/// completion whenever more than one thread is running.
+fn build_slate(delays_us: &[u64], salt: u64) -> Slate<'static, (u64, String)> {
+    let mut slate = Slate::new();
+    for (i, &d) in delays_us.iter().enumerate() {
+        slate.push(format!("job-{i}"), move || {
+            if d > 0 {
+                std::thread::sleep(std::time::Duration::from_micros(d));
+            }
+            payload(i, salt)
+        });
+    }
+    slate
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Any (job count, duration profile, thread count) reduces to the
+    /// same ordered (label, value) sequence as the serial reference.
+    #[test]
+    fn parallel_reduction_matches_serial_reference(
+        delays_us in prop::collection::vec(0u64..1500, 0..24),
+        threads in 1usize..=8,
+        salt in any::<u64>(),
+    ) {
+        let serial = build_slate(&delays_us, salt)
+            .run(1)
+            .expect("no job panics");
+        let parallel = build_slate(&delays_us, salt)
+            .run(threads)
+            .expect("no job panics");
+
+        prop_assert_eq!(serial.len(), delays_us.len());
+        prop_assert_eq!(parallel.len(), serial.len());
+        for (s, p) in serial.iter().zip(parallel.iter()) {
+            prop_assert_eq!(&s.label, &p.label);
+            prop_assert_eq!(&s.value, &p.value);
+        }
+    }
+
+    /// The reduction order is the submission order, independent of which
+    /// job finishes first: job i always lands at index i.
+    #[test]
+    fn reduction_order_is_submission_order(
+        delays_us in prop::collection::vec(0u64..1500, 1..24),
+        threads in 2usize..=8,
+    ) {
+        let results = build_slate(&delays_us, 0)
+            .run(threads)
+            .expect("no job panics");
+        for (i, r) in results.iter().enumerate() {
+            prop_assert_eq!(r.label.clone(), format!("job-{i}"));
+            prop_assert_eq!(r.value.clone(), payload(i, 0));
+        }
+    }
+}

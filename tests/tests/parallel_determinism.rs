@@ -1,0 +1,122 @@
+//! Schedule-independence of the parallel bench executor: the same slate
+//! run at 1, 2 and 8 host threads must serialize to *byte-identical*
+//! output. Seeds are confined to individual jobs and the reduction is
+//! keyed by submission order, so thread count and OS scheduling must be
+//! invisible in every artifact the gate compares.
+//!
+//! This file deliberately contains no `std::thread` / `crossbeam` usage
+//! of its own (simlint D04) — all threading happens inside `daos-bench`'s
+//! sanctioned executor.
+
+use daos_bench::figures::{rot_timeline, run_pfs_contrast_sized, RotTimeline};
+use daos_bench::report::BenchReport;
+use daos_bench::slate::{run_regress_slate, smoke};
+use daos_placement::ObjectClass;
+
+const MIB: u64 = 1 << 20;
+
+/// Every observable field of a rot timeline, as one comparable string.
+fn rot_key(t: &RotTimeline) -> String {
+    format!(
+        "{:?}/{}/{}/{:.6}/{}/{}/{}/{}",
+        t.class, t.mode, t.rot_extents, t.detect_ms, t.reported, t.repairs_ok, t.equal, t.clean
+    )
+}
+
+/// The whole reduced-smoke regress slate: six reports, each byte-identical
+/// across thread counts, plus identical timeline rows.
+#[test]
+fn regress_slate_is_byte_identical_across_thread_counts() {
+    let scale = smoke();
+    let base = run_regress_slate(&scale, 1);
+    let base_json: Vec<String> = base.reports().iter().map(|r| r.to_json()).collect();
+    let base_rot: Vec<String> = base.rot_rows.iter().map(rot_key).collect();
+    let fault_key = |t: &daos_bench::figures::FaultTimeline| {
+        format!(
+            "{:?}/{}/{:.6}/{:.6}/{:.6}/{:.6}/{:.6}/{}/{}",
+            t.class,
+            t.client_nodes,
+            t.write,
+            t.healthy,
+            t.during,
+            t.rebuilt,
+            t.reintegrated,
+            t.map_version,
+            t.chunks_repaired
+        )
+    };
+    let base_fault: Vec<String> = base.fault_rows.iter().map(fault_key).collect();
+
+    for threads in [2usize, 8] {
+        let run = run_regress_slate(&scale, threads);
+        let json: Vec<String> = run.reports().iter().map(|r| r.to_json()).collect();
+        assert_eq!(
+            base_json, json,
+            "report JSON diverged between 1 and {threads} threads"
+        );
+        let rot: Vec<String> = run.rot_rows.iter().map(rot_key).collect();
+        assert_eq!(base_rot, rot, "rot rows diverged at {threads} threads");
+        let fault: Vec<String> = run.fault_rows.iter().map(fault_key).collect();
+        assert_eq!(
+            base_fault, fault,
+            "fault rows diverged at {threads} threads"
+        );
+        assert_eq!(run.threads, threads);
+        // timings are schedule-dependent by design, but the labels (the
+        // submission order) must not be
+        let base_labels: Vec<&String> = base.timings.iter().map(|(l, _)| l).collect();
+        let labels: Vec<&String> = run.timings.iter().map(|(l, _)| l).collect();
+        assert_eq!(
+            base_labels, labels,
+            "job order diverged at {threads} threads"
+        );
+    }
+}
+
+/// The PFS-contrast rows and the report they record into are identical
+/// at every thread count.
+#[test]
+fn pfs_contrast_rows_are_thread_count_invariant() {
+    let nodes = [1u32, 2];
+    let mut reports = Vec::new();
+    let mut rows_flat = Vec::new();
+    for threads in [1usize, 2, 8] {
+        let mut report = BenchReport::new("pfs_contrast", 0x1F5);
+        let rows = run_pfs_contrast_sized(&mut report, &nodes, threads, MIB, 4);
+        reports.push(report.to_json());
+        rows_flat.push(
+            rows.iter()
+                .map(|r| {
+                    format!(
+                        "{}:{:.9}/{:.9}/{:.9}/{:.9}/{}",
+                        r.nodes,
+                        r.pfs_fpp.write_gib_s(),
+                        r.pfs_shared.write_gib_s(),
+                        r.daos_fpp.write_gib_s(),
+                        r.daos_shared.write_gib_s(),
+                        r.revokes
+                    )
+                })
+                .collect::<Vec<_>>(),
+        );
+    }
+    assert_eq!(reports[0], reports[1]);
+    assert_eq!(reports[0], reports[2]);
+    assert_eq!(rows_flat[0], rows_flat[1]);
+    assert_eq!(rows_flat[0], rows_flat[2]);
+}
+
+/// A rot timeline produced inside a slate job equals the directly-run
+/// one: jobs get their own seeded sims, so where they run cannot matter.
+#[test]
+fn rot_timeline_matches_direct_run() {
+    let direct = rot_timeline(ObjectClass::RP_2GX, true, 0x5C2B ^ 1);
+
+    let mut slate = daos_bench::exec::Slate::new();
+    slate.push("rot/RP_2GX/scrub", || {
+        rot_timeline(ObjectClass::RP_2GX, true, 0x5C2B ^ 1)
+    });
+    let out = slate.run(4).expect("rot job");
+    assert_eq!(out.len(), 1);
+    assert_eq!(rot_key(&direct), rot_key(&out[0].value));
+}
