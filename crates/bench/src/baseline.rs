@@ -37,6 +37,16 @@ impl TolerancePolicy {
             "repairs_ok",
             "bytes_equal",
             "media_clean",
+            // traffic-sweep event counters: deterministic arrival
+            // processes, so any change at all is a real behaviour change
+            "arrivals",
+            "completed",
+            "failed",
+            "engine_sheds",
+            "breaker_fastfail",
+            "retries_spent",
+            "retries_denied",
+            "logical_clients",
         ] {
             per_metric.insert(counter.to_string(), 0.0);
         }

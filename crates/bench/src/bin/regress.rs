@@ -41,16 +41,19 @@ use std::path::{Path, PathBuf};
 use daos_bench::baseline::{compare, format_drift_table, violations, TolerancePolicy};
 use daos_bench::exec;
 use daos_bench::figures::{check_fault_timeline, check_rot_timeline};
-use daos_bench::invariants::evaluate_all;
+use daos_bench::invariants::{evaluate_all, evaluate_traffic};
 use daos_bench::report::BenchReport;
 use daos_bench::slate::{reduced, run_regress_slate, RegressRun};
+use daos_bench::traffic::check_traffic_cell;
 use daos_bench::Reporter;
 
 const BASELINE_DIR: &str = "results/baselines";
 
 /// Label prefixes that attribute slate jobs to their figure report, in
 /// the gate's fixed report order.
-const FIGURE_PREFIXES: [&str; 6] = ["fig1/", "fig2/", "pfs/", "io500/", "fault/", "scrub/"];
+const FIGURE_PREFIXES: [&str; 7] = [
+    "fig1/", "fig2/", "pfs/", "io500/", "fault/", "scrub/", "traffic/",
+];
 
 fn out_dir() -> PathBuf {
     std::env::var("DAOS_BENCH_OUT")
@@ -89,7 +92,7 @@ fn main() {
     // ---- reduced-scale sweep of every figure, one parallel slate -----
     let out = out_dir();
     let mut slate_run: Option<RegressRun> = None;
-    let (fig1, fig2, pfs, io500, fault, scrub);
+    let (fig1, fig2, pfs, io500, fault, scrub, traffic);
     if compare_only {
         let load = |name: &str| {
             BenchReport::load(&out, name).unwrap_or_else(|e| {
@@ -106,6 +109,7 @@ fn main() {
         io500 = load("io500");
         fault = load("fault_sweep");
         scrub = load("scrub_sweep");
+        traffic = load("traffic_sweep");
     } else {
         let threads = exec::threads();
         eprintln!("regress: running the reduced slate on {threads} thread(s)...");
@@ -134,9 +138,10 @@ fn main() {
         io500 = run.io500.clone();
         fault = run.fault.clone();
         scrub = run.scrub.clone();
+        traffic = run.traffic.clone();
         slate_run = Some(run);
     }
-    let fresh = [&fig1, &fig2, &pfs, &io500, &fault, &scrub];
+    let fresh = [&fig1, &fig2, &pfs, &io500, &fault, &scrub, &traffic];
 
     // ---- persist fresh reports + runner timing for CI artifacts ------
     if let Some(run) = &slate_run {
@@ -236,6 +241,15 @@ fn main() {
         );
     }
 
+    // ---- the overload invariants R6-R8 -------------------------------
+    println!("\n== overload invariants (R6-R8) ==");
+    for inv in evaluate_traffic(&traffic) {
+        rep.check(
+            &format!("{}: {} — {}", inv.id, inv.desc, inv.detail),
+            inv.pass,
+        );
+    }
+
     // ---- robustness shape checks (reduced fault + scrub timelines) ---
     println!("\n== robustness checks ==");
     if compare_only {
@@ -247,6 +261,9 @@ fn main() {
         }
         for t in &run.rot_rows {
             check_rot_timeline(&mut rep, t);
+        }
+        for c in &run.traffic_rows {
+            check_traffic_cell(&mut rep, c);
         }
     }
     for report in [&scrub] {

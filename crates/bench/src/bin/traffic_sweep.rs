@@ -1,0 +1,99 @@
+//! **Open-loop traffic sweep**: offered load vs latency, goodput and
+//! shed rate, with engine admission control + client damping ON and OFF.
+//!
+//! Client populations are deterministic arrival processes (Poisson and
+//! bursty, aggregated per client node) sweeping offered load per object
+//! class past 100% of nominal engine capacity. Each `(series, load)`
+//! point is an independent seeded sim, so the sweep fans out on the
+//! slate executor (`--threads` / `BENCH_THREADS`; output is
+//! byte-identical at any thread count). The R6–R8 overload invariants
+//! (latency knee, no-collapse with protection ON, collapse with it OFF)
+//! gate the exit code.
+//!
+//! ```text
+//! cargo run -p daos-bench --release --bin traffic_sweep
+//! cargo run -p daos-bench --release --bin traffic_sweep -- --reduced
+//! ```
+
+use daos_bench::exec::{self, Slate};
+use daos_bench::invariants::evaluate_traffic;
+use daos_bench::report::{config_hash, Record};
+use daos_bench::traffic::{
+    check_traffic_cell, record_traffic_cell, traffic_cluster, traffic_modes, traffic_point,
+    TrafficParams, TRAFFIC_SEED,
+};
+use daos_bench::Reporter;
+
+fn main() {
+    let args = exec::parse_threads_flag(std::env::args().skip(1).collect());
+    let params = if args.iter().any(|a| a == "--reduced") {
+        TrafficParams::reduced()
+    } else {
+        TrafficParams::full()
+    };
+    let mut rep = Reporter::new("traffic_sweep", TRAFFIC_SEED);
+    println!(
+        "# open-loop traffic sweep: {} client node(s) standing in for {} logical clients, {} MiB requests, {} ms window",
+        params.client_nodes,
+        params.logical_clients,
+        params.req_size >> 20,
+        params.duration.as_ns() / 1_000_000,
+    );
+    println!(
+        "series,load_pct,offered_gib_s,goodput_gib_s,p50_us,p99_us,p999_us,shed_rate,arrivals,completed,failed,engine_sheds,breaker_fastfail,retries_denied"
+    );
+
+    let mut slate = Slate::new();
+    for mode in traffic_modes() {
+        for &load in params.loads {
+            slate.push(format!("traffic/{}/{load}", mode.series()), move || {
+                traffic_point(mode, load, params)
+            });
+        }
+    }
+    let cells: Vec<_> = slate
+        .run_auto()
+        .unwrap_or_else(|p| panic!("traffic sweep {p}"))
+        .into_iter()
+        .map(|r| {
+            eprintln!("{:8.2}s  {}", r.wall_secs, r.label);
+            r.value
+        })
+        .collect();
+
+    for c in &cells {
+        println!(
+            "{},{},{:.3},{:.3},{:.0},{:.0},{:.0},{:.4},{},{},{},{},{},{}",
+            c.series,
+            c.load_pct,
+            c.offered_gib_s,
+            c.goodput_gib_s,
+            c.p50_us,
+            c.p99_us,
+            c.p999_us,
+            c.shed_rate,
+            c.arrivals,
+            c.completed,
+            c.failed,
+            c.engine_sheds,
+            c.breaker_fastfail,
+            c.retries_denied,
+        );
+        record_traffic_cell(rep.report_mut(), c);
+    }
+    rep.report_mut()
+        .set_config_hash(config_hash(&traffic_cluster(&params, true)));
+
+    for c in &cells {
+        check_traffic_cell(&mut rep, c);
+    }
+    println!("\n== overload invariants (R6-R8) ==");
+    let report = rep.report_mut().clone();
+    for inv in evaluate_traffic(&report) {
+        rep.check(
+            &format!("{}: {} — {}", inv.id, inv.desc, inv.detail),
+            inv.pass,
+        );
+    }
+    rep.finish();
+}

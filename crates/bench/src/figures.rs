@@ -388,6 +388,7 @@ pub fn fault_timeline(class: ObjectClass, nodes: u32, ppn: u32, per_rank: u64) -
                     base_backoff: SimDuration::from_ms(1),
                     max_backoff: SimDuration::from_ms(16),
                     max_attempts: 40,
+                    ..RetryPolicy::default()
                 })
             })
             .collect();

@@ -207,6 +207,202 @@ pub fn r5_pfs_collapse(pfs_contrast: &BenchReport) -> InvariantResult {
     }
 }
 
+/// Ascending load axis of one traffic series.
+fn series_scales(report: &BenchReport, series: &str) -> Vec<u32> {
+    report
+        .series
+        .get(series)
+        .map(|by_scale| by_scale.keys().copied().collect())
+        .unwrap_or_default()
+}
+
+/// Knee of one traffic series: the offered load (percent) with the
+/// highest goodput. Open-loop, this is where the latency/throughput
+/// curve turns — past it extra offered load can only queue or shed.
+fn knee_of(report: &BenchReport, series: &str) -> Option<(u32, f64)> {
+    let mut best: Option<(u32, f64)> = None;
+    for load in series_scales(report, series) {
+        let g = report.get(series, load, "goodput_gib_s")?;
+        if best.is_none_or(|(_, bg)| g > bg) {
+            best = Some((load, g));
+        }
+    }
+    best
+}
+
+/// The [`daos_sim::PercentileSketch`]-reported quantiles carry up
+/// to 6.25% relative bucket granularity; monotonicity is asserted with
+/// that slack so two loads landing in the same bucket never fail R6.
+const SKETCH_SLACK: f64 = 0.94;
+
+/// R6 — open-loop latency knee: on every Poisson series, p99 completion
+/// latency grows monotonically with offered load up to the knee, and the
+/// knee's p99 sits clearly above the lightest load's.
+///
+/// The monotone region is clamped at 100% of nominal capacity: past it a
+/// *protected* series sheds most arrivals, and the completion population
+/// becomes shed-censored — survivors skew toward requests that found
+/// short queues, so the quantiles of successes can legitimately *fall*
+/// while the system degrades. Below nominal, everything that arrives
+/// completes and the classic utilization/latency curve must hold.
+pub fn r6_latency_monotone(traffic: &BenchReport) -> InvariantResult {
+    const ID: &str = "R6";
+    const DESC: &str = "p99 latency grows monotonically with offered load up to the knee";
+    let mut detail = String::new();
+    let mut pass = true;
+    let series: Vec<String> = traffic
+        .series
+        .keys()
+        .filter(|s| !s.ends_with("/burst"))
+        .cloned()
+        .collect();
+    if series.is_empty() {
+        return InvariantResult::fail(ID, DESC, "empty report".into());
+    }
+    for s in &series {
+        let (knee, _) = match knee_of(traffic, s) {
+            Some(k) => k,
+            None => return InvariantResult::fail(ID, DESC, format!("missing goodput in {s}")),
+        };
+        let pre: Vec<(u32, f64)> = series_scales(traffic, s)
+            .into_iter()
+            .filter(|&l| l <= knee.min(100))
+            .map(|l| (l, traffic.get(s, l, "p99_us").unwrap_or(f64::NAN)))
+            .collect();
+        let mut mono = true;
+        for w in pre.windows(2) {
+            // negated so a NaN (missing metric) also counts as non-monotone
+            let step_ok = w[1].1 >= SKETCH_SLACK * w[0].1;
+            if !step_ok {
+                mono = false;
+            }
+        }
+        let grows = match (pre.first(), pre.last()) {
+            (Some(&(_, first)), Some(&(_, at_knee))) if pre.len() >= 2 => at_knee >= 1.1 * first,
+            _ => true, // knee at the lightest load: nothing to compare
+        };
+        if !(mono && grows) {
+            pass = false;
+        }
+        let curve: Vec<String> = pre.iter().map(|(l, p)| format!("{l}%:{p:.0}us")).collect();
+        detail.push_str(&format!("{s} knee {knee}% [{}]; ", curve.join(" ")));
+    }
+    if pass {
+        InvariantResult::ok(ID, DESC, detail)
+    } else {
+        InvariantResult::fail(ID, DESC, detail)
+    }
+}
+
+/// R7 — no goodput collapse with protection ON: past the knee, every
+/// admission+damping series keeps goodput within 15% of its peak. This
+/// is the property the admission queue caps and the retry budget buy:
+/// overload sheds early and cheaply instead of queueing into timeouts.
+pub fn r7_ac_no_collapse(traffic: &BenchReport) -> InvariantResult {
+    const ID: &str = "R7";
+    const DESC: &str = "admission ON: goodput stays within 15% of peak past the knee";
+    let mut detail = String::new();
+    let mut pass = true;
+    let mut seen = false;
+    for s in traffic.series.keys() {
+        if !(s.ends_with("/ac") || s.ends_with("/burst")) {
+            continue;
+        }
+        seen = true;
+        let (knee, peak) = match knee_of(traffic, s) {
+            Some(k) => k,
+            None => return InvariantResult::fail(ID, DESC, format!("missing goodput in {s}")),
+        };
+        let mut min_past = peak;
+        for load in series_scales(traffic, s) {
+            if load > knee {
+                let g = traffic.get(s, load, "goodput_gib_s").unwrap_or(0.0);
+                min_past = min_past.min(g);
+            }
+        }
+        if min_past < 0.85 * peak {
+            pass = false;
+        }
+        detail.push_str(&format!(
+            "{s}: peak {peak:.2} @ {knee}%, min past {min_past:.2} GiB/s; "
+        ));
+    }
+    if !seen {
+        return InvariantResult::fail(ID, DESC, "no admission-ON series".into());
+    }
+    if pass {
+        InvariantResult::ok(ID, DESC, detail)
+    } else {
+        InvariantResult::fail(ID, DESC, detail)
+    }
+}
+
+/// R8 — the storm with protection OFF: at the sweep's deepest overload,
+/// every unprotected series delivers less than *half* the goodput of its
+/// protected twin (queueing delay blows through the RPC deadline,
+/// retries multiply offered load, served-but-abandoned work evicts
+/// goodput), and every unprotected series degrades measurably (>15%)
+/// from its own peak past the knee.
+pub fn r8_noac_collapse(traffic: &BenchReport) -> InvariantResult {
+    const ID: &str = "R8";
+    const DESC: &str = "admission OFF: less than half the protected twin's goodput at top load";
+    let mut detail = String::new();
+    let mut pass = true;
+    let mut seen = false;
+    for s in traffic.series.keys() {
+        if !s.ends_with("/noac") {
+            continue;
+        }
+        seen = true;
+        let twin = format!("{}ac", s.trim_end_matches("noac"));
+        let loads = series_scales(traffic, s);
+        let top = match loads.last() {
+            Some(&t) => t,
+            None => return InvariantResult::fail(ID, DESC, format!("empty series {s}")),
+        };
+        let g_off = match traffic.get(s, top, "goodput_gib_s") {
+            Some(g) => g,
+            None => return InvariantResult::fail(ID, DESC, format!("missing goodput in {s}")),
+        };
+        let g_on = match traffic.get(&twin, top, "goodput_gib_s") {
+            Some(g) => g,
+            None => return InvariantResult::fail(ID, DESC, format!("missing twin series {twin}")),
+        };
+        let (knee, peak) = match knee_of(traffic, s) {
+            Some(k) => k,
+            None => return InvariantResult::fail(ID, DESC, format!("missing goodput in {s}")),
+        };
+        let min_past = loads
+            .iter()
+            .filter(|&&l| l > knee)
+            .filter_map(|&l| traffic.get(s, l, "goodput_gib_s"))
+            .fold(peak, f64::min);
+        if !(g_off < 0.5 * g_on && min_past < 0.85 * peak) {
+            pass = false;
+        }
+        detail.push_str(&format!(
+            "{s}@{top}%: {g_off:.2} vs {twin} {g_on:.2} GiB/s; own peak {peak:.2} @ {knee}%, min past {min_past:.2}; "
+        ));
+    }
+    if !seen {
+        return InvariantResult::fail(ID, DESC, "no admission-OFF series".into());
+    }
+    if pass {
+        InvariantResult::ok(ID, DESC, detail)
+    } else {
+        InvariantResult::fail(ID, DESC, detail)
+    }
+}
+
+/// Evaluate the overload invariants R6–R8 against a traffic report.
+pub fn evaluate_traffic(traffic: &BenchReport) -> Vec<InvariantResult> {
+    vec![
+        r6_latency_monotone(traffic),
+        r7_ac_no_collapse(traffic),
+        r8_noac_collapse(traffic),
+    ]
+}
+
 /// Evaluate R1–R5 against the three figure reports.
 pub fn evaluate_all(
     fig1: &BenchReport,

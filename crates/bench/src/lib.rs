@@ -48,6 +48,7 @@ pub mod figures;
 pub mod invariants;
 pub mod report;
 pub mod slate;
+pub mod traffic;
 
 use report::BenchReport;
 

@@ -2,13 +2,13 @@
 //! into independent, seeded, single-threaded jobs on the [`crate::exec`]
 //! runner.
 //!
-//! The serial `regress` ran its six figures one after another, and CI
+//! The serial `regress` ran its figures one after another, and CI
 //! latency was bounded by the 16-node cells. Here each figure cell — an
 //! IOR sweep point, a PFS-contrast cell, the IO500 composite, a fault or
 //! rot timeline, a checksum-overhead point — is one job with a fixed
 //! seed, so the whole gate fans out across host threads. Reduction is by
 //! *(series, scale, metric)* key into `BTreeMap`-backed reports, applied
-//! in submission order, so the six `BenchReport`s (and everything
+//! in submission order, so the seven `BenchReport`s (and everything
 //! derived from them: JSON, drift tables, invariant verdicts) are
 //! byte-identical regardless of thread count or schedule.
 //!
@@ -32,6 +32,10 @@ use crate::figures::{
     REDUCED_REPEATS,
 };
 use crate::report::{config_hash, BenchReport, Fragment, Record};
+use crate::traffic::{
+    record_traffic_cell, traffic_cluster, traffic_modes, traffic_point, TrafficCell, TrafficParams,
+    TRAFFIC_SEED,
+};
 use crate::{paper_cluster, paper_params, run_point_with, Measurement};
 
 /// Scale knobs for one regress slate run.
@@ -62,6 +66,8 @@ pub struct SlateScale {
     pub csum_nodes: u32,
     pub csum_ppn: u32,
     pub csum_block: u64,
+    /// Open-loop traffic sweep scale (cluster, window, load axis).
+    pub traffic: TrafficParams,
 }
 
 /// The CI gate's reduced scale — exactly the workload the serial regress
@@ -84,6 +90,7 @@ pub fn reduced() -> SlateScale {
         csum_nodes: 2,
         csum_ppn: 4,
         csum_block: 8 * MIB,
+        traffic: TrafficParams::reduced(),
     }
 }
 
@@ -107,6 +114,7 @@ pub fn smoke() -> SlateScale {
         csum_nodes: 2,
         csum_ppn: 2,
         csum_block: MIB,
+        traffic: TrafficParams::smoke(),
     }
 }
 
@@ -137,11 +145,13 @@ enum JobOut {
     },
     /// One bit-rot timeline (kept whole for the shape checks).
     Rot(RotTimeline),
+    /// One open-loop traffic cell (kept whole for the per-cell checks).
+    Traffic(TrafficCell),
 }
 
 const PFS_SERIES: [&str; 4] = ["pfs-fpp", "pfs-shared", "daos-fpp", "daos-shared"];
 
-/// Everything one slate run produces: the six figure reports (wall_secs
+/// Everything one slate run produces: the seven figure reports (wall_secs
 /// left at 0.0 — they are fully schedule-independent), the timeline rows
 /// the robustness checks need, and the runner's own wall-time
 /// accounting (schedule-dependent by nature, reported out-of-band).
@@ -152,10 +162,13 @@ pub struct RegressRun {
     pub io500: BenchReport,
     pub fault: BenchReport,
     pub scrub: BenchReport,
+    pub traffic: BenchReport,
     /// Fault timelines in submission order, for the shape checks.
     pub fault_rows: Vec<FaultTimeline>,
     /// Rot timelines in submission order, for the shape checks.
     pub rot_rows: Vec<RotTimeline>,
+    /// Traffic cells in submission order, for the per-cell checks.
+    pub traffic_rows: Vec<TrafficCell>,
     /// Per-job `(label, wall_secs)` in submission order.
     pub timings: Vec<(String, f64)>,
     /// Sum of per-job wall times ≈ what a `--threads 1` run costs.
@@ -167,8 +180,8 @@ pub struct RegressRun {
 }
 
 impl RegressRun {
-    /// The six figure reports, in the gate's fixed order.
-    pub fn reports(&self) -> [&BenchReport; 6] {
+    /// The seven figure reports, in the gate's fixed order.
+    pub fn reports(&self) -> [&BenchReport; 7] {
         [
             &self.fig1,
             &self.fig2,
@@ -176,12 +189,13 @@ impl RegressRun {
             &self.io500,
             &self.fault,
             &self.scrub,
+            &self.traffic,
         ]
     }
 
     /// Mutable view, same order (the `regress` binary stamps wall
     /// times into the fresh artifacts before writing them).
-    pub fn reports_mut(&mut self) -> [&mut BenchReport; 6] {
+    pub fn reports_mut(&mut self) -> [&mut BenchReport; 7] {
         [
             &mut self.fig1,
             &mut self.fig2,
@@ -189,6 +203,7 @@ impl RegressRun {
             &mut self.io500,
             &mut self.fault,
             &mut self.scrub,
+            &mut self.traffic,
         ]
     }
 
@@ -209,8 +224,16 @@ impl RegressRun {
 pub fn run_regress_slate(scale: &SlateScale, threads: usize) -> RegressRun {
     let mut slate: Slate<'_, JobOut> = Slate::new();
 
-    // Heaviest first: figure and PFS cells at the largest node counts
-    // dominate the gate's critical path.
+    // Heaviest first: overloaded traffic points and the figure/PFS cells
+    // at the largest node counts dominate the gate's critical path.
+    for mode in traffic_modes() {
+        for &load in scale.traffic.loads.iter().rev() {
+            let params = scale.traffic;
+            slate.push(format!("traffic/{}/{load}", mode.series()), move || {
+                JobOut::Traffic(traffic_point(mode, load, params))
+            });
+        }
+    }
     for &n in scale.nodes.iter().rev() {
         for fig in [1u8, 2u8] {
             let (fpp, seed) = if fig == 1 {
@@ -334,8 +357,10 @@ pub fn run_regress_slate(scale: &SlateScale, threads: usize) -> RegressRun {
         io500: BenchReport::new("io500", 0x10500),
         fault: BenchReport::new("fault_sweep", 0xFA17),
         scrub: BenchReport::new("scrub_sweep", 0x5C2B),
+        traffic: BenchReport::new("traffic_sweep", TRAFFIC_SEED),
         fault_rows: Vec::new(),
         rot_rows: Vec::new(),
+        traffic_rows: Vec::new(),
         timings: Vec::new(),
         serial_secs: 0.0,
         elapsed_secs,
@@ -394,6 +419,10 @@ pub fn run_regress_slate(scale: &SlateScale, threads: usize) -> RegressRun {
                     read,
                 );
             }
+            JobOut::Traffic(c) => {
+                record_traffic_cell(&mut run.traffic, &c);
+                run.traffic_rows.push(c);
+            }
             JobOut::Rot(t) => {
                 record_rot_timeline(&mut run.scrub, &t);
                 run.rot_rows.push(t);
@@ -403,5 +432,7 @@ pub fn run_regress_slate(scale: &SlateScale, threads: usize) -> RegressRun {
     record_sweep(&mut run.fig1, &fig1_ms, top);
     record_sweep(&mut run.fig2, &fig2_ms, top);
     run.pfs.set_config_hash(config_hash(&paper_cluster(top)));
+    run.traffic
+        .set_config_hash(config_hash(&traffic_cluster(&scale.traffic, true)));
     run
 }

@@ -1,0 +1,42 @@
+//! Determinism of the open-loop traffic harness: a `(mode, load)` point
+//! is a pure function of its parameters — two runs in the same process
+//! produce field-identical cells (latency quantiles, goodput, every shed
+//! and damping counter), the property the committed
+//! `BENCH_traffic_sweep.json` baseline and the R6–R8 invariant gate rest
+//! on. Thread-count independence of the full slate (traffic cells
+//! included) is covered by the `daos-tests` schedule-independence suite.
+
+use daos_bench::traffic::{traffic_modes, traffic_point, TrafficParams};
+
+#[test]
+fn traffic_point_is_reproducible() {
+    let params = TrafficParams::smoke();
+    for mode in traffic_modes() {
+        for &load in params.loads {
+            let a = traffic_point(mode, load, params);
+            let b = traffic_point(mode, load, params);
+            assert_eq!(a, b, "{} @ {load}%", mode.series());
+            assert_eq!(a.completed + a.failed, a.arrivals, "accounting closes");
+        }
+    }
+}
+
+/// The two protection modes must differ *only* through the admission and
+/// damping knobs: identical seeds mean identical arrival sequences, so
+/// at an uncongested load (50% of nominal) both modes complete every
+/// request and goodput matches closely.
+#[test]
+fn modes_agree_below_the_knee() {
+    let params = TrafficParams::smoke();
+    let modes = traffic_modes();
+    let ac = traffic_point(modes[2], 50, params); // SX/ac
+    let noac = traffic_point(modes[3], 50, params); // SX/noac
+    assert_eq!(ac.failed, 0);
+    assert_eq!(noac.failed, 0);
+    assert_eq!(ac.engine_sheds, 0);
+    let rel = (ac.goodput_gib_s - noac.goodput_gib_s).abs() / noac.goodput_gib_s;
+    assert!(
+        rel < 0.25,
+        "uncongested goodput diverged: {ac:?} vs {noac:?}"
+    );
+}

@@ -43,16 +43,47 @@ pub(crate) fn group_of_chunk(oid: ObjectId, chunk: u64, group_count: u32) -> u32
 /// refreshing the pool map between tries.
 #[derive(Clone, Copy, Debug)]
 pub struct RetryPolicy {
-    /// Per-attempt RPC deadline. The default is deliberately generous —
-    /// far above any legitimate queueing delay at full load — so healthy
-    /// runs never trip it; chaos tests tighten it.
+    /// Per-attempt RPC deadline. Closed-loop benchmarks rarely trip it,
+    /// but it is *not* "far above any legitimate queueing delay": once an
+    /// open-loop workload can offer more than the engines serve, queueing
+    /// delay at the knee grows without bound and any finite deadline is
+    /// reachable on a healthy system. It is a policy knob — how long the
+    /// client waits before treating an engine as unresponsive — not a
+    /// safety margin. Note the shed distinction: an engine refusing work
+    /// replies [`DaosError::Busy`] in microseconds and never waits out
+    /// this deadline; only dark/partitioned/saturated-without-admission
+    /// engines burn it.
     pub rpc_timeout: SimDuration,
-    /// First backoff; doubles per attempt.
+    /// First backoff after a timeout-class failure; doubles per attempt.
     pub base_backoff: SimDuration,
     /// Backoff ceiling.
     pub max_backoff: SimDuration,
     /// Attempts before the typed error surfaces to the caller.
     pub max_attempts: u32,
+    /// Backoff floor after a [`DaosError::Busy`] shed. The two failure
+    /// modes earn different curves: a timeout already *waited out*
+    /// `rpc_timeout` before retrying, so its extra backoff can start
+    /// small; a shed fast-fails in microseconds — retrying it on the
+    /// timeout curve's early steps would hammer the engine precisely when
+    /// it asked for relief. Sheds back off from this floor (doubling,
+    /// jittered, capped at `max_backoff` like the timeout curve).
+    pub shed_backoff: SimDuration,
+    /// Token-bucket retry budget shared by every clone of the client.
+    /// Each retry spends one token; each successful RPC refunds 1/16 of a
+    /// token (capped at the budget), so under sustained overload retry
+    /// traffic is throttled toward a small fraction of goodput instead of
+    /// multiplying offered load — the anti-storm invariant. `0` disables
+    /// budgeting (unbounded retries, the pre-overload model and default).
+    pub retry_budget: u32,
+    /// Consecutive `Busy`/`Timeout` failures against one engine that trip
+    /// its circuit breaker. While open, data-plane calls to that engine
+    /// fast-fail client-side with `Busy { queued: 0 }` — no wire traffic —
+    /// for `breaker_open`; the first call after the window half-opens the
+    /// breaker as a single probe whose outcome deterministically closes
+    /// (success) or re-opens (failure) it. `0` disables (the default).
+    pub breaker_failures: u32,
+    /// How long a tripped breaker stays open before half-opening.
+    pub breaker_open: SimDuration,
 }
 
 impl Default for RetryPolicy {
@@ -62,8 +93,113 @@ impl Default for RetryPolicy {
             base_backoff: SimDuration::from_ms(1),
             max_backoff: SimDuration::from_ms(32),
             max_attempts: 30,
+            shed_backoff: SimDuration::from_ms(4),
+            retry_budget: 0,
+            breaker_failures: 0,
+            breaker_open: SimDuration::from_ms(20),
         }
     }
+}
+
+/// Saturating exponential backoff step: `base · 2^attempt` clamped to
+/// `max`, immune to shift overflow at any attempt count (a `u64` shift by
+/// ≥ 64 is UB-adjacent in release and panics in debug; this never shifts
+/// past 63 and saturates the multiply).
+fn capped_exp_backoff(base: u64, attempt: u32, max: u64) -> u64 {
+    let exp = if attempt >= 63 {
+        u64::MAX
+    } else {
+        base.saturating_mul(1u64 << attempt)
+    };
+    exp.min(max)
+}
+
+/// Retry-budget refund per successful RPC, in 1/16ths of a token.
+const RETRY_REFILL_X16: u64 = 1;
+
+/// Per-engine circuit-breaker state. `open_until_ns == 0` means closed.
+#[derive(Default)]
+struct Breaker {
+    /// Consecutive `Busy`/`Timeout` failures while closed.
+    consecutive: u32,
+    /// Virtual instant the open window ends (0 = closed).
+    open_until_ns: u64,
+    /// A half-open probe is in flight; siblings keep fast-failing.
+    probe_inflight: bool,
+}
+
+/// Fold one gated call's outcome into a breaker (the deterministic state
+/// machine behind [`DaosClient::damp_stats`]'s `breaker_fastfail`):
+/// failures while closed count toward `threshold`; reaching it — or any
+/// failed half-open probe — opens the breaker until `now_ns + open_ns`;
+/// success closes it outright.
+fn breaker_transition(
+    b: &mut Breaker,
+    threshold: u32,
+    open_ns: u64,
+    now_ns: u64,
+    probe: bool,
+    failed: bool,
+) {
+    if probe {
+        b.probe_inflight = false;
+    }
+    if failed {
+        b.consecutive += 1;
+        if probe || b.consecutive >= threshold {
+            b.open_until_ns = now_ns + open_ns;
+        }
+    } else {
+        b.consecutive = 0;
+        b.open_until_ns = 0;
+    }
+}
+
+/// Storm-damping state shared by every clone of a [`DaosClient`] and every
+/// handle opened from it: the retry token bucket and per-engine breakers.
+struct DampState {
+    /// Retry tokens in 1/16ths (budgeting disabled when the policy's
+    /// `retry_budget` is 0 — the field is then unused).
+    tokens_x16: Cell<u64>,
+    breakers: RefCell<std::collections::BTreeMap<u32, Breaker>>,
+    retries_spent: Cell<u64>,
+    retries_denied: Cell<u64>,
+    breaker_fastfail: Cell<u64>,
+    sheds_seen: Cell<u64>,
+}
+
+impl DampState {
+    fn new(retry: &RetryPolicy) -> Self {
+        DampState {
+            tokens_x16: Cell::new(retry.retry_budget as u64 * 16),
+            breakers: RefCell::new(std::collections::BTreeMap::new()),
+            retries_spent: Cell::new(0),
+            retries_denied: Cell::new(0),
+            breaker_fastfail: Cell::new(0),
+            sheds_seen: Cell::new(0),
+        }
+    }
+}
+
+/// Storm-damping observability counters (see [`DaosClient::damp_stats`]).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct DampStats {
+    /// Retry-budget tokens spent on retries.
+    pub retries_spent: u64,
+    /// Retries denied because the budget was dry (errors surfaced early).
+    pub retries_denied: u64,
+    /// Calls fast-failed client-side by an open circuit breaker.
+    pub breaker_fastfail: u64,
+    /// `Busy` shed replies received from engines.
+    pub sheds_seen: u64,
+}
+
+/// Breaker admission decision for one data-plane call.
+enum Admit {
+    /// Proceed; `probe` marks the single half-open probe.
+    Yes { probe: bool },
+    /// Breaker open: fail fast without touching the wire.
+    FastFail,
 }
 
 /// A client process bound to a client node's fabric port.
@@ -72,23 +208,28 @@ pub struct DaosClient {
     cluster: Rc<Cluster>,
     node: NodeId,
     retry: RetryPolicy,
+    damp: Rc<DampState>,
 }
 
 impl DaosClient {
     /// A client on client node `client_node_idx` (0-based).
     pub fn new(cluster: Rc<Cluster>, client_node_idx: u32) -> Self {
         let node = cluster.client_node(client_node_idx);
+        let retry = RetryPolicy::default();
         DaosClient {
             cluster,
             node,
-            retry: RetryPolicy::default(),
+            damp: Rc::new(DampState::new(&retry)),
+            retry,
         }
     }
 
     /// Same client with a different retry policy (handles opened from it
-    /// inherit the policy).
+    /// inherit the policy). Resets the damping state: the token bucket is
+    /// refilled to the new policy's budget and all breakers close.
     pub fn with_retry(mut self, retry: RetryPolicy) -> Self {
         self.retry = retry;
+        self.damp = Rc::new(DampState::new(&retry));
         self
     }
 
@@ -97,14 +238,112 @@ impl DaosClient {
         self.retry
     }
 
-    /// Exponential backoff with jitter before retry `attempt` (0-based).
-    async fn backoff(&self, sim: &Sim, attempt: u32) {
-        let base = self.retry.base_backoff.as_ns().max(1);
-        let exp = base.saturating_mul(1u64 << attempt.min(20));
-        let capped = exp.min(self.retry.max_backoff.as_ns());
+    /// Storm-damping counters, cumulative across every clone and handle
+    /// sharing this client's damping state.
+    pub fn damp_stats(&self) -> DampStats {
+        DampStats {
+            retries_spent: self.damp.retries_spent.get(),
+            retries_denied: self.damp.retries_denied.get(),
+            breaker_fastfail: self.damp.breaker_fastfail.get(),
+            sheds_seen: self.damp.sheds_seen.get(),
+        }
+    }
+
+    /// Spend one retry token; `false` means the budget is dry and the
+    /// caller must surface its error instead of retrying.
+    fn try_spend_retry(&self) -> bool {
+        if self.retry.retry_budget == 0 {
+            return true;
+        }
+        let t = self.damp.tokens_x16.get();
+        if t >= 16 {
+            self.damp.tokens_x16.set(t - 16);
+            self.damp
+                .retries_spent
+                .set(self.damp.retries_spent.get() + 1);
+            true
+        } else {
+            self.damp
+                .retries_denied
+                .set(self.damp.retries_denied.get() + 1);
+            false
+        }
+    }
+
+    /// Refund part of a retry token for a successful RPC.
+    fn credit_success(&self) {
+        if self.retry.retry_budget == 0 {
+            return;
+        }
+        let cap = self.retry.retry_budget as u64 * 16;
+        let t = self.damp.tokens_x16.get();
+        self.damp.tokens_x16.set((t + RETRY_REFILL_X16).min(cap));
+    }
+
+    /// Breaker admission check for a data-plane call to `engine_idx`.
+    fn breaker_gate(&self, sim: &Sim, engine_idx: u32) -> Admit {
+        if self.retry.breaker_failures == 0 {
+            return Admit::Yes { probe: false };
+        }
+        let mut breakers = self.damp.breakers.borrow_mut();
+        let b = breakers.entry(engine_idx).or_default();
+        if b.open_until_ns == 0 {
+            return Admit::Yes { probe: false };
+        }
+        if sim.now().as_ns() < b.open_until_ns || b.probe_inflight {
+            self.damp
+                .breaker_fastfail
+                .set(self.damp.breaker_fastfail.get() + 1);
+            Admit::FastFail
+        } else {
+            // half-open: exactly one probe crosses the wire
+            b.probe_inflight = true;
+            Admit::Yes { probe: true }
+        }
+    }
+
+    /// Record a gated call's outcome into the engine's breaker.
+    fn breaker_record(&self, sim: &Sim, engine_idx: u32, probe: bool, failed: bool) {
+        if self.retry.breaker_failures == 0 {
+            return;
+        }
+        let mut breakers = self.damp.breakers.borrow_mut();
+        let b = breakers.entry(engine_idx).or_default();
+        breaker_transition(
+            b,
+            self.retry.breaker_failures,
+            self.retry.breaker_open.as_ns(),
+            sim.now().as_ns(),
+            probe,
+            failed,
+        );
+    }
+
+    /// Exponential backoff with jitter before retry `attempt` (0-based),
+    /// on the curve the failure mode earns: sheds start at `shed_backoff`
+    /// (the engine fast-failed — don't pile on), timeouts at
+    /// `base_backoff` (the deadline itself was the wait).
+    async fn backoff_for(&self, sim: &Sim, attempt: u32, err: &DaosError) {
+        let base = match err {
+            DaosError::Busy { .. } => self.retry.shed_backoff.as_ns().max(1),
+            _ => self.retry.base_backoff.as_ns().max(1),
+        };
+        let capped = capped_exp_backoff(base, attempt, self.retry.max_backoff.as_ns().max(base));
         // jitter in [0.5, 1.0) × capped, drawn from the sim's seeded RNG
         let jittered = capped / 2 + sim.rand_below(capped / 2 + 1);
         sim.sleep(SimDuration::from_ns(jittered)).await;
+    }
+
+    /// Gate one retry after retryable error `err`: spend a budget token
+    /// (when budgeting is on) and wait out the error-appropriate backoff.
+    /// `false` means the budget is dry — surface the error, add no
+    /// retry traffic.
+    async fn retry_gate(&self, sim: &Sim, attempt: u32, err: &DaosError) -> bool {
+        if !self.try_spend_retry() {
+            return false;
+        }
+        self.backoff_for(sim, attempt, err).await;
+        true
     }
 
     /// The cluster this client talks to.
@@ -151,6 +390,35 @@ impl DaosClient {
             .map_err(DaosError::from)
     }
 
+    /// Data-plane RPC through the storm-damping layer: an open circuit
+    /// breaker fast-fails client-side with `Busy { queued: 0 }` (no wire
+    /// traffic), sheds and timeouts feed the breaker, and responsive
+    /// outcomes refund retry-budget tokens. Control-plane paths bypass
+    /// this on purpose — pool-map refreshes must stay reachable while the
+    /// data plane is damped, or recovery itself would be throttled.
+    async fn call_gated(
+        &self,
+        sim: &Sim,
+        engine_idx: u32,
+        req: Request,
+    ) -> Result<Response, DaosError> {
+        let probe = match self.breaker_gate(sim, engine_idx) {
+            Admit::FastFail => return Err(DaosError::Busy { queued: 0 }),
+            Admit::Yes { probe } => probe,
+        };
+        let r = self.call_deadline(sim, engine_idx, req).await;
+        let shed = matches!(&r, Ok(Response::Err(DaosError::Busy { .. })));
+        if shed {
+            self.damp.sheds_seen.set(self.damp.sheds_seen.get() + 1);
+        }
+        let failed = shed || matches!(&r, Err(DaosError::Timeout));
+        self.breaker_record(sim, engine_idx, probe, failed);
+        if !failed && r.is_ok() {
+            self.credit_success();
+        }
+        r
+    }
+
     /// Control-plane RPC: retries across pool-service replicas following
     /// `NotLeader` hints, with the same bounded backoff policy as data
     /// RPCs. The service may still return a semantic error such as
@@ -177,7 +445,9 @@ impl DaosClient {
                 }
                 Err(e) => return Err(e),
             }
-            self.backoff(sim, attempt).await;
+            if !self.retry_gate(sim, attempt, &last).await {
+                return Err(last);
+            }
         }
         Err(last)
     }
@@ -726,7 +996,7 @@ impl ArrayHandle {
         for attempt in 0..client.retry.max_attempts {
             let (engine, target) = self.obj.route(shard);
             let r = client
-                .call_deadline(
+                .call_gated(
                     sim,
                     engine,
                     Request::UpdateArray {
@@ -747,8 +1017,15 @@ impl ArrayHandle {
                 Err(e) if e.is_retryable() => last = e,
                 Err(e) => return Err(e),
             }
-            client.backoff(sim, attempt).await;
-            self.obj.refresh(sim).await;
+            if !client.retry_gate(sim, attempt, &last).await {
+                return Err(last);
+            }
+            // a shed is a load signal, not a placement signal: skip the
+            // control-plane refresh so damped retries don't stampede the
+            // pool service
+            if !matches!(last, DaosError::Busy { .. }) {
+                self.obj.refresh(sim).await;
+            }
         }
         Err(last)
     }
@@ -768,7 +1045,7 @@ impl ArrayHandle {
             .obj
             .cont
             .client
-            .call_deadline(
+            .call_gated(
                 sim,
                 engine,
                 Request::FetchArray {
@@ -840,8 +1117,12 @@ impl ArrayHandle {
                 Err(e) if e.is_retryable() => last = e,
                 Err(e) => return Err(e),
             }
-            client.backoff(sim, attempt).await;
-            self.obj.refresh(sim).await;
+            if !client.retry_gate(sim, attempt, &last).await {
+                return Err(last);
+            }
+            if !matches!(last, DaosError::Busy { .. }) {
+                self.obj.refresh(sim).await;
+            }
         }
         Err(last)
     }
@@ -1012,8 +1293,12 @@ impl ArrayHandle {
                     if !any_alive {
                         return Err(DaosError::NoSurvivingReplicas);
                     }
-                    client.backoff(sim, round).await;
-                    self.obj.refresh(sim).await;
+                    if !client.retry_gate(sim, round, &last).await {
+                        return Err(last);
+                    }
+                    if !matches!(last, DaosError::Busy { .. }) {
+                        self.obj.refresh(sim).await;
+                    }
                 }
                 Err(last)
             }
@@ -1030,8 +1315,12 @@ impl ArrayHandle {
                         Err(e) if e.is_retryable() => last = e,
                         Err(e) => return Err(e),
                     }
-                    client.backoff(sim, round).await;
-                    self.obj.refresh(sim).await;
+                    if !client.retry_gate(sim, round, &last).await {
+                        return Err(last);
+                    }
+                    if !matches!(last, DaosError::Busy { .. }) {
+                        self.obj.refresh(sim).await;
+                    }
                 }
                 Err(last)
             }
@@ -1374,5 +1663,66 @@ impl ArrayHandle {
             }
         }
         Ok(out)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn backoff_shift_never_overflows() {
+        let max = SimDuration::from_ms(32).as_ns();
+        let base = SimDuration::from_ms(1).as_ns();
+        // the satellite bug: `base << attempt` overflows u64 at high
+        // attempt counts; the capped form must clamp, not wrap or panic
+        for attempt in [0, 1, 20, 62, 63, 64, 65, 100, 1000, u32::MAX] {
+            let v = capped_exp_backoff(base, attempt, max);
+            assert!(v <= max, "attempt {attempt} escaped the cap: {v}");
+            assert!(v >= base.min(max), "attempt {attempt} under the base");
+        }
+        // sane growth before the cap bites
+        assert_eq!(capped_exp_backoff(1, 0, u64::MAX), 1);
+        assert_eq!(capped_exp_backoff(1, 10, u64::MAX), 1024);
+        // at/past 63 shifts the curve saturates instead of wrapping
+        assert_eq!(capped_exp_backoff(2, 63, u64::MAX), u64::MAX);
+        assert_eq!(capped_exp_backoff(1, 64, u64::MAX), u64::MAX);
+        assert_eq!(capped_exp_backoff(0, 64, 100), 100);
+    }
+
+    #[test]
+    fn retry_budget_accounting() {
+        let retry = RetryPolicy {
+            retry_budget: 2,
+            ..RetryPolicy::default()
+        };
+        let damp = DampState::new(&retry);
+        assert_eq!(damp.tokens_x16.get(), 32);
+        // 16 refunds = 1 token at the documented 1/16 rate
+        assert_eq!(RETRY_REFILL_X16 * 16, 16);
+    }
+
+    #[test]
+    fn breaker_state_machine_is_deterministic() {
+        let (threshold, open_ns) = (3, 1_000);
+        let mut b = Breaker::default();
+        // two failures stay closed, the third opens
+        breaker_transition(&mut b, threshold, open_ns, 10, false, true);
+        breaker_transition(&mut b, threshold, open_ns, 20, false, true);
+        assert_eq!(b.open_until_ns, 0);
+        breaker_transition(&mut b, threshold, open_ns, 30, false, true);
+        assert_eq!(b.open_until_ns, 1_030);
+        // failed half-open probe re-opens for a fresh window
+        b.probe_inflight = true;
+        breaker_transition(&mut b, threshold, open_ns, 2_000, true, true);
+        assert!(!b.probe_inflight);
+        assert_eq!(b.open_until_ns, 3_000);
+        // successful probe closes outright and resets the failure count
+        b.probe_inflight = true;
+        breaker_transition(&mut b, threshold, open_ns, 4_000, true, false);
+        assert_eq!(
+            (b.consecutive, b.open_until_ns, b.probe_inflight),
+            (0, 0, false)
+        );
     }
 }

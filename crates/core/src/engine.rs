@@ -89,6 +89,20 @@ pub struct EngineConfig {
     pub scrub_interval: Option<SimDuration>,
     /// Chunk budget per target per scrub tick.
     pub scrub_chunks: usize,
+    /// Bounded per-xstream admission queue: a data-plane request arriving
+    /// when its target xstream already has `queue_cap` requests queued or
+    /// in service is shed with a header-only [`DaosError::Busy`] fast-fail
+    /// instead of joining an unbounded FIFO. `queue_cap = 0` sheds every
+    /// data-plane request (drain mode); `None` disables admission control
+    /// entirely — the pre-overload, closed-loop model, and the default so
+    /// existing figures are bit-for-bit unchanged.
+    pub queue_cap: Option<u32>,
+    /// Engine-wide budget of bulk payload bytes admitted but not yet
+    /// served. A write whose payload would push the engine past the budget
+    /// is shed with `Busy` before it touches an xstream, bounding the
+    /// buffer memory a saturated engine pins. Header-only ops never count
+    /// against it. `None` disables (the default).
+    pub inflight_cap: Option<u64>,
 }
 
 impl Default for EngineConfig {
@@ -109,8 +123,25 @@ impl Default for EngineConfig {
             csum_bw: Bandwidth::gib_per_sec(40.0),
             scrub_interval: Some(SimDuration::from_ms(500)),
             scrub_chunks: 8,
+            queue_cap: None,
+            inflight_cap: None,
         }
     }
+}
+
+/// Admission-control observability counters (see
+/// [`Engine::admission_stats`]). All zero while admission control is
+/// disabled.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct AdmissionStats {
+    /// Requests shed at the per-xstream queue-depth gate.
+    pub shed_queue: u64,
+    /// Requests shed at the engine-wide in-flight-bytes gate.
+    pub shed_bytes: u64,
+    /// Data-plane requests admitted to an xstream.
+    pub admitted: u64,
+    /// Bulk payload bytes currently admitted but not yet served.
+    pub inflight_bytes: u64,
 }
 
 /// Control-plane requests the engine forwards to a co-located pool-service
@@ -149,6 +180,11 @@ pub struct Engine {
     /// cluster wires this to the targeted-repair path.
     on_corruption: RefCell<Option<CorruptionHook>>,
     scrub_found: Cell<u64>,
+    /// Bulk payload bytes admitted but not yet served (admission control).
+    inflight_bytes: Cell<u64>,
+    shed_queue: Cell<u64>,
+    shed_bytes: Cell<u64>,
+    admitted: Cell<u64>,
 }
 
 impl Engine {
@@ -195,6 +231,10 @@ impl Engine {
             corrupt_ppm: Cell::new(0),
             on_corruption: RefCell::new(None),
             scrub_found: Cell::new(0),
+            inflight_bytes: Cell::new(0),
+            shed_queue: Cell::new(0),
+            shed_bytes: Cell::new(0),
+            admitted: Cell::new(0),
         });
         // one xstream (FIFO service) per target
         let xstreams: Vec<Semaphore> = (0..targets_per_engine).map(|_| Semaphore::new(1)).collect();
@@ -385,6 +425,17 @@ impl Engine {
         self.scrub_found.get()
     }
 
+    /// Admission-control counters (shed/admit totals, current in-flight
+    /// bulk bytes). All zero while both admission gates are disabled.
+    pub fn admission_stats(&self) -> AdmissionStats {
+        AdmissionStats {
+            shed_queue: self.shed_queue.get(),
+            shed_bytes: self.shed_bytes.get(),
+            admitted: self.admitted.get(),
+            inflight_bytes: self.inflight_bytes.get(),
+        }
+    }
+
     /// Roll the in-flight corruption dice for one frame.
     fn frame_torn(&self, sim: &Sim) -> bool {
         let ppm = self.corrupt_ppm.get();
@@ -439,6 +490,40 @@ impl Engine {
                     }
                     return;
                 }
+                // -------- admission control (both gates default-off) -----
+                // Shed decisions happen on the networking core *before* the
+                // xstream queue, and the Busy reply is header-only (no bulk
+                // behind it — `Response::Err` has `bulk_out() == 0`), so a
+                // shed costs the engine a queue-depth probe and one eager
+                // frame: the same cheap lane heartbeats ride on. Note the
+                // fabric charges write bulk on the client's TX path, so a
+                // shed saves the engine's queue slots, service time, and
+                // buffer memory — not the sender's wire time.
+                let bulk_in = inc.req.bulk_in();
+                if let Some(cap) = cfg.queue_cap {
+                    // waiters plus the request currently in service
+                    let depth = (xstreams[t].queue_len() + (1 - xstreams[t].available())) as u32;
+                    if depth >= cap {
+                        self.shed_queue.set(self.shed_queue.get() + 1);
+                        if self.alive.get() {
+                            inc.respond(Response::Err(DaosError::Busy { queued: depth }), 0);
+                        }
+                        return;
+                    }
+                }
+                if let Some(cap) = cfg.inflight_cap {
+                    if bulk_in > 0 && self.inflight_bytes.get().saturating_add(bulk_in) > cap {
+                        let depth =
+                            (xstreams[t].queue_len() + (1 - xstreams[t].available())) as u32;
+                        self.shed_bytes.set(self.shed_bytes.get() + 1);
+                        if self.alive.get() {
+                            inc.respond(Response::Err(DaosError::Busy { queued: depth }), 0);
+                        }
+                        return;
+                    }
+                }
+                self.admitted.set(self.admitted.get() + 1);
+                self.inflight_bytes.set(self.inflight_bytes.get() + bulk_in);
                 let _xs = xstreams[t].acquire().await;
                 sim.sleep(cfg.rpc_cpu).await;
                 // data ops burn xstream CPU proportional to payload
@@ -462,8 +547,14 @@ impl Engine {
                         .await;
                     }
                 }
-                self.exec_data(sim, &self.targets[t], cfg, inc.req.clone())
-                    .await
+                let rsp = self
+                    .exec_data(sim, &self.targets[t], cfg, inc.req.clone())
+                    .await;
+                // release the in-flight budget even when the engine crashed
+                // mid-service: the buffer is freed either way
+                self.inflight_bytes
+                    .set(self.inflight_bytes.get().saturating_sub(bulk_in));
+                rsp
             }
             None => {
                 // control plane: forward to the co-located replica

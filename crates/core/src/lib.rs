@@ -32,10 +32,11 @@ pub mod proto;
 pub mod rebuild;
 
 pub use client::{
-    ArrayHandle, ContainerHandle, DaosClient, KvHandle, ObjectHandle, PoolHandle, RetryPolicy,
+    ArrayHandle, ContainerHandle, DampStats, DaosClient, KvHandle, ObjectHandle, PoolHandle,
+    RetryPolicy,
 };
 pub use cluster::{Cluster, ClusterConfig, CorruptionStats};
-pub use engine::{Engine, EngineConfig};
+pub use engine::{AdmissionStats, Engine, EngineConfig};
 pub use pool::{HeartbeatConfig, PoolOp, PoolState};
 pub use proto::{DaosError, Request, Response};
 pub use rebuild::{CorruptionReport, RebuildStats};

@@ -39,6 +39,16 @@ pub enum DaosError {
     /// received bytes disagree with the frame's checksum. Retryable — a
     /// resend rereads the good source bytes.
     CorruptFrame,
+    /// The engine shed the request at admission: the target xstream's
+    /// bounded queue (or the engine-wide in-flight-bytes budget) is full.
+    /// A fast-fail — the reply is header-only and no bulk is queued, so it
+    /// costs the server almost nothing. Retryable, but clients must treat
+    /// it differently from [`DaosError::Timeout`]: the server is *alive and
+    /// explicitly refusing work*, so piling on retries is exactly wrong —
+    /// back off against the shedding engine instead of resending harder.
+    /// `queued` is the shedding xstream's queue depth at rejection time
+    /// (observability; lets clients and benches see how deep overload ran).
+    Busy { queued: u32 },
     /// Filesystem-level metadata (e.g. a DFS dirent) failed to deserialise:
     /// the stored record is structurally corrupt. Not retryable.
     CorruptMetadata(String),
@@ -57,6 +67,7 @@ impl DaosError {
                 | DaosError::StaleMap { .. }
                 | DaosError::NotLeader { .. }
                 | DaosError::CorruptFrame
+                | DaosError::Busy { .. }
         )
     }
 }
@@ -78,6 +89,9 @@ impl std::fmt::Display for DaosError {
             DaosError::UnexpectedResponse(s) => write!(f, "unexpected response {s}"),
             DaosError::CsumMismatch => write!(f, "stored data failed checksum verification"),
             DaosError::CorruptFrame => write!(f, "data frame corrupted in flight"),
+            DaosError::Busy { queued } => {
+                write!(f, "engine shed request at admission (queue depth {queued})")
+            }
             DaosError::CorruptMetadata(s) => write!(f, "corrupt metadata: {s}"),
             DaosError::Other(s) => write!(f, "{s}"),
         }
@@ -371,6 +385,19 @@ mod tests {
         assert!(!DaosError::CsumMismatch.is_retryable());
         assert!(DaosError::CorruptFrame.is_retryable());
         assert!(!DaosError::CorruptMetadata("x".into()).is_retryable());
+    }
+
+    #[test]
+    fn busy_taxonomy_and_wire_shape() {
+        // shed replies are retryable (the data is fine, the queue is full)
+        // but must be distinguishable from Timeout by the retry machinery
+        let busy = DaosError::Busy { queued: 7 };
+        assert!(busy.is_retryable());
+        assert_ne!(busy, DaosError::Timeout);
+        // a shed reply is header-only: no bulk may be queued behind it,
+        // mirroring the eager control lane heartbeats ride on
+        assert_eq!(Response::Err(busy.clone()).bulk_out(), 0);
+        assert!(format!("{busy}").contains("queue depth 7"));
     }
 
     #[test]

@@ -31,6 +31,7 @@ fn tight_retry() -> RetryPolicy {
         base_backoff: SimDuration::from_us(200),
         max_backoff: SimDuration::from_ms(4),
         max_attempts: 60,
+        ..RetryPolicy::default()
     }
 }
 

@@ -40,6 +40,6 @@ pub mod units;
 pub use executor::{JoinHandle, Sim};
 pub use fault::{select2, timeout, Either, FaultAction, FaultInjector, FaultPlan};
 pub use pipe::{Pipe, SharedPipe};
-pub use stats::{Histogram, OnlineStats};
+pub use stats::{Histogram, OnlineStats, PercentileSketch};
 pub use sync::{oneshot, Mailbox, Semaphore, SemaphorePermit};
 pub use time::{SimDuration, SimTime};

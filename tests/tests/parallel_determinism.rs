@@ -23,7 +23,7 @@ fn rot_key(t: &RotTimeline) -> String {
     )
 }
 
-/// The whole reduced-smoke regress slate: six reports, each byte-identical
+/// The whole reduced-smoke regress slate: seven reports, each byte-identical
 /// across thread counts, plus identical timeline rows.
 #[test]
 fn regress_slate_is_byte_identical_across_thread_counts() {

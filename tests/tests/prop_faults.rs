@@ -46,6 +46,7 @@ fn run_once(seed: u64, plan: &FaultPlan) -> Trace {
             base_backoff: SimDuration::from_us(200),
             max_backoff: SimDuration::from_ms(4),
             max_attempts: 25,
+            ..RetryPolicy::default()
         });
         let data = Payload::pattern(3, 256 * KIB);
         // the whole run is best-effort: under an adversarial plan (e.g.
