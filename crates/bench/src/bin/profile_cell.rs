@@ -1,0 +1,35 @@
+//! Temporary profiling harness: one 16-node figure cell under a wall
+//! clock, for gprofng / timing comparisons while optimizing the DES core.
+
+use daos_bench::figures::{FIG1_SEED, PPN};
+use daos_bench::{run_point, ExperimentPoint};
+use daos_ior::Api;
+use daos_placement::ObjectClass;
+
+fn main() {
+    let nodes: u32 = std::env::args()
+        .nth(1)
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(16);
+    // simlint: allow(D02) profiling harness wall clock; never feeds the simulation
+    let t0 = std::time::Instant::now();
+    let m = run_point(
+        ExperimentPoint {
+            api: Api::Dfs,
+            oclass: ObjectClass::S2,
+            client_nodes: nodes,
+        },
+        true,
+        PPN,
+        FIG1_SEED,
+        1,
+    );
+    let wall = t0.elapsed().as_secs_f64();
+    println!(
+        "cell DFS-S2/{}n: write {:.3} GiB/s read {:.3} GiB/s wall {:.3}s",
+        nodes,
+        m.report.write_gib_s(),
+        m.report.read_gib_s(),
+        wall
+    );
+}

@@ -17,7 +17,17 @@
 //! cargo run -p daos-bench --release --bin regress -- --threads 1  # serial
 //! cargo run -p daos-bench --release --bin regress -- --verbose
 //! cargo run -p daos-bench --release --bin regress -- --compare-only
+//! cargo run -p daos-bench --release --bin regress -- --nightly  # + scale tier
 //! ```
+//!
+//! `--nightly` adds the beyond-paper scale tier: the 64–512-node DFS
+//! sweep (`BENCH_scale.json`), its drift comparison, and the R2x/R5x
+//! extension invariants. It is far heavier than the PR gate and runs
+//! from CI's scheduled job, not on every push.
+//!
+//! `--update` refuses to regenerate baselines from a dirty working tree
+//! (their provenance must be reproducible from a commit); pass
+//! `--allow-dirty` to override while iterating locally.
 //!
 //! `--threads N` (or `BENCH_THREADS`) pins the slate width; the default
 //! is the host's available parallelism and `1` reproduces the serial
@@ -40,8 +50,10 @@ use std::path::{Path, PathBuf};
 
 use daos_bench::baseline::{compare, format_drift_table, violations, TolerancePolicy};
 use daos_bench::exec;
-use daos_bench::figures::{check_fault_timeline, check_rot_timeline};
-use daos_bench::invariants::{evaluate_all, evaluate_traffic};
+use daos_bench::figures::{
+    check_fault_timeline, check_rot_timeline, run_scale_sweep, SCALE_NODES, SCALE_SEED,
+};
+use daos_bench::invariants::{evaluate_all, evaluate_scale, evaluate_traffic};
 use daos_bench::report::BenchReport;
 use daos_bench::slate::{reduced, run_regress_slate, RegressRun};
 use daos_bench::traffic::check_traffic_cell;
@@ -66,9 +78,37 @@ fn main() {
     let update = args.iter().any(|a| a == "--update");
     let verbose = args.iter().any(|a| a == "--verbose");
     let compare_only = args.iter().any(|a| a == "--compare-only");
+    let nightly = args.iter().any(|a| a == "--nightly");
+    let allow_dirty = args.iter().any(|a| a == "--allow-dirty");
     if update && compare_only {
         eprintln!("regress: --update needs a live sweep; drop --compare-only");
         std::process::exit(2);
+    }
+    if update && !allow_dirty {
+        // Baselines are provenance: a figure someone can reproduce by
+        // checking out the commit that shipped it. Refuse to mint them
+        // from uncommitted state.
+        match std::process::Command::new("git")
+            .args(["status", "--porcelain", "--untracked-files=no"])
+            .output()
+        {
+            Ok(o) if o.status.success() => {
+                let dirty = String::from_utf8_lossy(&o.stdout);
+                let dirty = dirty.trim();
+                if !dirty.is_empty() {
+                    eprintln!(
+                        "regress: --update refused — the working tree has uncommitted changes:\n{dirty}"
+                    );
+                    eprintln!(
+                        "regress: commit first so the new baselines are reproducible, or pass --allow-dirty"
+                    );
+                    std::process::exit(2);
+                }
+            }
+            _ => eprintln!(
+                "regress: warning: cannot check working-tree cleanliness (git unavailable); proceeding"
+            ),
+        }
     }
     let tol = {
         let mut t = TolerancePolicy::standard();
@@ -183,9 +223,41 @@ fn main() {
         );
     }
 
+    // ---- nightly tier: the beyond-paper scale sweep ------------------
+    let mut scale_report: Option<BenchReport> = None;
+    if nightly {
+        if compare_only {
+            scale_report = Some(BenchReport::load(&out, "scale").unwrap_or_else(|e| {
+                eprintln!(
+                    "regress: --compare-only --nightly needs BENCH_scale.json in {}: {e}",
+                    out.display()
+                );
+                std::process::exit(2);
+            }));
+        } else {
+            let threads = exec::threads();
+            eprintln!("regress: nightly tier — 64-512-node scale sweep on {threads} thread(s)...");
+            // simlint: allow(D02) runner wall-time provenance; never compared against baselines
+            let t0 = std::time::Instant::now();
+            let mut scale = BenchReport::new("scale", SCALE_SEED);
+            run_scale_sweep(&mut scale, &SCALE_NODES, threads, 1);
+            scale.wall_secs = t0.elapsed().as_secs_f64();
+            eprintln!("regress: scale sweep done in {:.1}s", scale.wall_secs);
+            if let Err(e) = scale.write_to(&out) {
+                eprintln!("regress: cannot write BENCH_scale.json: {e}");
+                std::process::exit(2);
+            }
+            scale_report = Some(scale);
+        }
+    }
+
     if update {
         let dir = Path::new(BASELINE_DIR);
-        for report in fresh {
+        let mut to_write: Vec<&BenchReport> = fresh.to_vec();
+        if let Some(s) = &scale_report {
+            to_write.push(s);
+        }
+        for report in to_write {
             match report.write_to(dir) {
                 Ok(path) => println!("baseline updated: {}", path.display()),
                 Err(e) => {
@@ -205,7 +277,11 @@ fn main() {
         "== drift vs {BASELINE_DIR} (default tolerance ±{:.0}%) ==",
         tol.default_rel * 100.0
     );
-    for report in fresh {
+    let mut drift_targets: Vec<&BenchReport> = fresh.to_vec();
+    if let Some(s) = &scale_report {
+        drift_targets.push(s);
+    }
+    for report in drift_targets {
         match BenchReport::load(Path::new(BASELINE_DIR), &report.name) {
             Ok(base) => {
                 if base.seed != report.seed || base.config_hash != report.config_hash {
@@ -248,6 +324,17 @@ fn main() {
             &format!("{}: {} — {}", inv.id, inv.desc, inv.detail),
             inv.pass,
         );
+    }
+
+    // ---- the beyond-paper scale extensions R2x/R5x (nightly) ---------
+    if let Some(scale) = &scale_report {
+        println!("\n== beyond-paper scale invariants (R2x, R5x) ==");
+        for inv in evaluate_scale(scale) {
+            rep.check(
+                &format!("{}: {} — {}", inv.id, inv.desc, inv.detail),
+                inv.pass,
+            );
+        }
     }
 
     // ---- robustness shape checks (reduced fault + scrub timelines) ---

@@ -1,0 +1,49 @@
+//! **Beyond the paper's scale** — the DFS S2/SX × fpp/shared grid at
+//! 64–512 client nodes, past the testbed the paper (and Figures 1–2)
+//! stops at. Locates the R2 write crossover and tracks the R5 shared-file
+//! asymptote at scales the regress gate's reduced axis cannot see.
+//!
+//! ```text
+//! cargo run -p daos-bench --release --bin scale_sweep
+//! cargo run -p daos-bench --release --bin scale_sweep -- --threads 4
+//! BENCH_REPEATS=3 cargo run -p daos-bench --release --bin scale_sweep
+//! ```
+//!
+//! Cells run as jobs on the shared slate executor (`--threads N` /
+//! `BENCH_THREADS` pin the width; reduction order is submission order, so
+//! output is byte-identical at any thread count). `BENCH_REPEATS`
+//! overrides the per-cell placement repeats (default 1 at this scale).
+//! Writes `BENCH_scale.json` for the nightly regress tier.
+
+use daos_bench::exec;
+use daos_bench::figures::{run_scale_sweep, SCALE_NODES, SCALE_SEED};
+use daos_bench::invariants::evaluate_scale;
+use daos_bench::Reporter;
+
+fn main() {
+    let _args = exec::parse_threads_flag(std::env::args().skip(1).collect());
+    let repeats = std::env::var("BENCH_REPEATS")
+        .ok()
+        .and_then(|v| v.parse::<u64>().ok())
+        .filter(|&n| n > 0)
+        .unwrap_or(1);
+    let mut rep = Reporter::new("scale", SCALE_SEED);
+    let cells = run_scale_sweep(rep.report_mut(), &SCALE_NODES, exec::threads(), repeats);
+
+    println!("# beyond the paper's scale (DFS, {repeats} repeat(s))");
+    println!("series,client_nodes,write_gib_s,read_gib_s");
+    for (series, m) in &cells {
+        println!(
+            "{series},{},{:.3},{:.3}",
+            m.point.client_nodes,
+            m.report.write_gib_s(),
+            m.report.read_gib_s()
+        );
+    }
+
+    for inv in evaluate_scale(rep.report_mut()) {
+        let line = format!("{}: {} — {}", inv.id, inv.desc, inv.detail);
+        rep.check(&line, inv.pass);
+    }
+    rep.finish();
+}

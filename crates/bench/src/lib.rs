@@ -114,13 +114,32 @@ pub fn run_point_with(
     seed: u64,
     repeats: u64,
 ) -> Measurement {
+    run_point_in(
+        paper_cluster(point.client_nodes),
+        point,
+        params,
+        seed,
+        repeats,
+    )
+}
+
+/// [`run_point_with`] on an explicit testbed: the paper-figure cells use
+/// [`paper_cluster`]; the beyond-paper scale sweep weak-scales the
+/// server side alongside the client axis.
+pub fn run_point_in(
+    cluster: ClusterConfig,
+    point: ExperimentPoint,
+    params: IorParams,
+    seed: u64,
+    repeats: u64,
+) -> Measurement {
     let mut acc: Option<IorReport> = None;
     for it in 0..repeats {
         let mut sim = Sim::new(seed ^ ((point.client_nodes as u64) << 32) ^ (it << 56));
         let report = sim.block_on(move |sim| async move {
             let env = DaosTestbed::setup_salted(
                 &sim,
-                paper_cluster(point.client_nodes),
+                cluster,
                 DfsConfig::default(),
                 DfuseConfig::default(),
                 it,

@@ -449,9 +449,12 @@ impl Engine {
         xstreams: &[Semaphore],
         cfg: EngineConfig,
     ) {
+        // split so the request can be *moved* into execution (no clone of
+        // bulk-carrying bodies) while the reply slot stays usable
+        let (req, responder) = inc.split();
         // Heartbeats are answered on the networking core, not an xstream:
         // they must stay cheap and unqueued or a busy engine looks dead.
-        if let Request::Ping { version, excluded } = &inc.req {
+        if let Request::Ping { version, excluded } = &req {
             if !self.alive.get() {
                 return;
             }
@@ -459,11 +462,11 @@ impl Engine {
                 self.map_version.set(*version);
                 *self.local_excluded.borrow_mut() = excluded.iter().copied().collect();
             }
-            inc.respond(Response::Pong, 0);
+            responder.respond(Response::Pong, 0);
             return;
         }
 
-        let target_idx = match &inc.req {
+        let target_idx = match &req {
             Request::UpdateArray { target, .. }
             | Request::FetchArray { target, .. }
             | Request::UpdateSingle { target, .. }
@@ -486,7 +489,7 @@ impl Engine {
                         version: self.map_version.get(),
                     });
                     if self.alive.get() {
-                        inc.respond(rsp, 0);
+                        responder.respond(rsp, 0);
                     }
                     return;
                 }
@@ -499,14 +502,14 @@ impl Engine {
                 // fabric charges write bulk on the client's TX path, so a
                 // shed saves the engine's queue slots, service time, and
                 // buffer memory — not the sender's wire time.
-                let bulk_in = inc.req.bulk_in();
+                let bulk_in = req.bulk_in();
                 if let Some(cap) = cfg.queue_cap {
                     // waiters plus the request currently in service
                     let depth = (xstreams[t].queue_len() + (1 - xstreams[t].available())) as u32;
                     if depth >= cap {
                         self.shed_queue.set(self.shed_queue.get() + 1);
                         if self.alive.get() {
-                            inc.respond(Response::Err(DaosError::Busy { queued: depth }), 0);
+                            responder.respond(Response::Err(DaosError::Busy { queued: depth }), 0);
                         }
                         return;
                     }
@@ -517,7 +520,7 @@ impl Engine {
                             (xstreams[t].queue_len() + (1 - xstreams[t].available())) as u32;
                         self.shed_bytes.set(self.shed_bytes.get() + 1);
                         if self.alive.get() {
-                            inc.respond(Response::Err(DaosError::Busy { queued: depth }), 0);
+                            responder.respond(Response::Err(DaosError::Busy { queued: depth }), 0);
                         }
                         return;
                     }
@@ -527,7 +530,7 @@ impl Engine {
                 let _xs = xstreams[t].acquire().await;
                 sim.sleep(cfg.rpc_cpu).await;
                 // data ops burn xstream CPU proportional to payload
-                let copy_bytes = match &inc.req {
+                let copy_bytes = match &req {
                     Request::UpdateArray { data, .. } => data.len(),
                     Request::UpdateSingle { value, .. } => value.len(),
                     Request::FetchArray { len, .. } => *len,
@@ -547,9 +550,7 @@ impl Engine {
                         .await;
                     }
                 }
-                let rsp = self
-                    .exec_data(sim, &self.targets[t], cfg, inc.req.clone())
-                    .await;
+                let rsp = self.exec_data(sim, &self.targets[t], cfg, req).await;
                 // release the in-flight budget even when the engine crashed
                 // mid-service: the buffer is freed either way
                 self.inflight_bytes
@@ -562,7 +563,7 @@ impl Engine {
                     Response::Err(DaosError::NotLeader { hint: None })
                 } else {
                     let (tx, rx) = daos_sim::oneshot();
-                    self.control.send((inc.req.clone(), tx));
+                    self.control.send((req, tx));
                     match rx.await {
                         Ok(r) => r,
                         Err(_) => Response::Err(DaosError::Transport),
@@ -577,7 +578,7 @@ impl Engine {
             return;
         }
         let bulk = rsp.bulk_out();
-        inc.respond(rsp, bulk);
+        responder.respond(rsp, bulk);
     }
 
     async fn exec_data(

@@ -241,8 +241,11 @@ impl Fabric {
             let (_, end) = lo.reserve_after(now + cpu, bytes);
             return SimTime::from_ns(end + 200); // shared-memory handoff
         }
-        let tx = &self.nodes[from].tx;
-        let rx = &self.nodes[to].rx;
+        // batched: one read/commit of each NIC's flow state for the whole
+        // frame train instead of per-frame counter traffic (the per-frame
+        // arithmetic, rounding included, is unchanged)
+        let mut tx = self.nodes[from].tx.batch();
+        let mut rx = self.nodes[to].rx.batch();
         let wire = self.cfg.wire_latency.as_ns() + self.fault.extra_latency.get();
         let mut remaining = bytes;
         let mut done = now + cpu + wire; // covers the zero-byte case
@@ -344,6 +347,36 @@ pub struct Incoming<Req, Rsp> {
 impl<Req, Rsp> Incoming<Req, Rsp> {
     /// Complete the RPC. `bulk_out` is the size of any bulk payload carried
     /// by the response (e.g. read data); it is charged on the reply path.
+    pub fn respond(self, rsp: Rsp, bulk_out: u64) {
+        self.reply.send((rsp, bulk_out));
+    }
+
+    /// Split into the request body and a detached [`Responder`], so a
+    /// handler can consume the request by value (no clone) while keeping
+    /// the reply slot to complete later.
+    pub fn split(self) -> (Req, Responder<Rsp>) {
+        (
+            self.req,
+            Responder {
+                from: self.from,
+                bulk_in: self.bulk_in,
+                reply: self.reply,
+            },
+        )
+    }
+}
+
+/// The reply half of a split [`Incoming`]; see [`Incoming::split`].
+pub struct Responder<Rsp> {
+    /// Originating node.
+    pub from: NodeId,
+    /// Payload size the caller attached (already charged on the wire).
+    pub bulk_in: u64,
+    reply: daos_sim::sync::OneshotSender<(Rsp, u64)>,
+}
+
+impl<Rsp> Responder<Rsp> {
+    /// Complete the RPC; same contract as [`Incoming::respond`].
     pub fn respond(self, rsp: Rsp, bulk_out: u64) {
         self.reply.send((rsp, bulk_out));
     }

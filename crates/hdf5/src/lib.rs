@@ -66,7 +66,7 @@ impl Default for H5Config {
 #[derive(Clone)]
 pub enum H5Vfd {
     /// POSIX (`sec2`) through a DFuse file.
-    Sec2(PosixFile),
+    Sec2(Box<PosixFile>),
     /// MPI-IO; `collective` selects `H5FD_MPIO_COLLECTIVE` transfers.
     Mpio { file: Rc<MpiFile>, collective: bool },
 }

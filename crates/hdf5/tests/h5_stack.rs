@@ -29,7 +29,7 @@ fn contiguous_dataset_round_trip() {
     sim.block_on(|sim| async move {
         let m = mount(&sim).await;
         let f = m.open(&sim, "/a.h5", OpenFlags::create()).await.unwrap();
-        let h5 = H5File::create(&sim, H5Vfd::Sec2(f), H5Config::default())
+        let h5 = H5File::create(&sim, H5Vfd::Sec2(Box::new(f)), H5Config::default())
             .await
             .unwrap();
         let ds = h5
@@ -53,7 +53,7 @@ fn dataset_data_is_unaligned_in_the_file() {
     sim.block_on(|sim| async move {
         let m = mount(&sim).await;
         let f = m.open(&sim, "/b.h5", OpenFlags::create()).await.unwrap();
-        let h5 = H5File::create(&sim, H5Vfd::Sec2(f), H5Config::default())
+        let h5 = H5File::create(&sim, H5Vfd::Sec2(Box::new(f)), H5Config::default())
             .await
             .unwrap();
         let ds = h5
@@ -75,7 +75,7 @@ fn chunked_dataset_round_trip_with_holes() {
     sim.block_on(|sim| async move {
         let m = mount(&sim).await;
         let f = m.open(&sim, "/c.h5", OpenFlags::create()).await.unwrap();
-        let h5 = H5File::create(&sim, H5Vfd::Sec2(f), H5Config::default())
+        let h5 = H5File::create(&sim, H5Vfd::Sec2(Box::new(f)), H5Config::default())
             .await
             .unwrap();
         let ds = h5
@@ -104,7 +104,7 @@ fn metadata_writes_happen_at_create_and_flush() {
     sim.block_on(|sim| async move {
         let m = mount(&sim).await;
         let f = m.open(&sim, "/d.h5", OpenFlags::create()).await.unwrap();
-        let h5 = H5File::create(&sim, H5Vfd::Sec2(f), H5Config::default())
+        let h5 = H5File::create(&sim, H5Vfd::Sec2(Box::new(f)), H5Config::default())
             .await
             .unwrap();
         // create: superblock + root header
@@ -133,7 +133,7 @@ fn groups_allocate_headers() {
     sim.block_on(|sim| async move {
         let m = mount(&sim).await;
         let f = m.open(&sim, "/e.h5", OpenFlags::create()).await.unwrap();
-        let h5 = H5File::create(&sim, H5Vfd::Sec2(f), H5Config::default())
+        let h5 = H5File::create(&sim, H5Vfd::Sec2(Box::new(f)), H5Config::default())
             .await
             .unwrap();
         h5.create_group(&sim, "/step1").await.unwrap();
@@ -154,7 +154,7 @@ fn two_datasets_do_not_overlap() {
     sim.block_on(|sim| async move {
         let m = mount(&sim).await;
         let f = m.open(&sim, "/f.h5", OpenFlags::create()).await.unwrap();
-        let h5 = H5File::create(&sim, H5Vfd::Sec2(f), H5Config::default())
+        let h5 = H5File::create(&sim, H5Vfd::Sec2(Box::new(f)), H5Config::default())
             .await
             .unwrap();
         let a = h5

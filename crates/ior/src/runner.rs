@@ -155,7 +155,7 @@ async fn build_rank_io(
             let h5cfg = H5Config::default();
             if params.file_per_process {
                 // sec2 VFD, independent
-                let h5 = H5File::create(sim, H5Vfd::Sec2(f), h5cfg).await?;
+                let h5 = H5File::create(sim, H5Vfd::Sec2(Box::new(f)), h5cfg).await?;
                 let ds = h5
                     .create_dataset(
                         sim,

@@ -93,6 +93,22 @@ impl Pipe {
         (start, start + busy)
     }
 
+    /// Start a batch of reservations: the pipe's flow state is read once
+    /// into locals, arbitrarily many [`PipeBatch::reserve_after`] calls run
+    /// against them (identical arithmetic, per-call rounding included), and
+    /// one commit writes the state back when the batch drops. This is the
+    /// fast path for frame-pipelined multi-hop transfers, which otherwise
+    /// touch the counters once per frame.
+    pub fn batch(&self) -> PipeBatch<'_> {
+        PipeBatch {
+            pipe: self,
+            next_free: self.next_free.get(),
+            busy_ns: 0,
+            bytes: 0,
+            ops: 0,
+        }
+    }
+
     /// This pipe's fixed per-transfer latency.
     pub fn latency(&self) -> SimDuration {
         self.latency
@@ -118,6 +134,41 @@ impl Pipe {
             return 0.0;
         }
         self.busy_ns.get() as f64 / now.as_ns() as f64
+    }
+}
+
+/// In-progress batched reservation on a [`Pipe`]; see [`Pipe::batch`].
+///
+/// Per-call math is exactly [`Pipe::reserve_after`]'s — same `ns_for`
+/// rounding per call — only the counter updates are deferred to drop.
+pub struct PipeBatch<'a> {
+    pipe: &'a Pipe,
+    next_free: u64,
+    busy_ns: u64,
+    bytes: u64,
+    ops: u64,
+}
+
+impl PipeBatch<'_> {
+    /// Batched [`Pipe::reserve_after`].
+    pub fn reserve_after(&mut self, earliest: u64, bytes: u64) -> (u64, u64) {
+        let start = earliest.max(self.next_free);
+        let busy = self.pipe.bw.ns_for(bytes);
+        self.next_free = start + busy;
+        self.busy_ns += busy;
+        self.bytes += bytes;
+        self.ops += 1;
+        (start, start + busy)
+    }
+}
+
+impl Drop for PipeBatch<'_> {
+    fn drop(&mut self) {
+        let p = self.pipe;
+        p.next_free.set(self.next_free);
+        p.busy_ns.set(p.busy_ns.get() + self.busy_ns);
+        p.bytes_total.set(p.bytes_total.get() + self.bytes);
+        p.ops_total.set(p.ops_total.get() + self.ops);
     }
 }
 
@@ -212,6 +263,35 @@ mod tests {
             }
         });
         assert_eq!(t, SimTime::from_us(14));
+    }
+
+    #[test]
+    fn batched_reservations_match_direct_calls() {
+        let (_, direct) = mk(1.5, 3);
+        let (_, batched) = mk(1.5, 3);
+        let frames = [128 * 1024u64, 128 * 1024, 77_777, 1, 0];
+        let mut direct_ends = Vec::new();
+        for (i, &f) in frames.iter().enumerate() {
+            direct_ends.push(direct.reserve_after(i as u64 * 10, f));
+        }
+        let mut batch_ends = Vec::new();
+        {
+            let mut b = batched.batch();
+            for (i, &f) in frames.iter().enumerate() {
+                batch_ends.push(b.reserve_after(i as u64 * 10, f));
+            }
+        }
+        assert_eq!(direct_ends, batch_ends);
+        assert_eq!(direct.bytes_total(), batched.bytes_total());
+        assert_eq!(direct.ops_total(), batched.ops_total());
+        assert_eq!(
+            direct.queue_delay(SimTime::ZERO),
+            batched.queue_delay(SimTime::ZERO)
+        );
+        assert_eq!(
+            direct.utilization(SimTime::from_us(1)),
+            batched.utilization(SimTime::from_us(1))
+        );
     }
 
     #[test]

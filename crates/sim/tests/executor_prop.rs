@@ -1,0 +1,101 @@
+//! Property test for the timer-wheel executor: for *any* random workload
+//! of sleeping tasks, the order in which events fire must be exactly the
+//! order the previous `BinaryHeap`-based executor produced — global
+//! `(deadline, registration sequence)` order. The reference below *is*
+//! that old scheduler, reduced to its scheduling decision: one global
+//! min-heap popped one timer at a time, with each woken task re-arming
+//! its next timer (taking the next sequence number) before the following
+//! pop.
+
+use std::cell::RefCell;
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+use std::rc::Rc;
+
+use proptest::prelude::*;
+
+use daos_sim::Sim;
+
+/// `(fire time, task index, step index)` — the observable event record.
+type Event = (u64, usize, usize);
+
+/// The old executor's schedule, replayed in plain code: timers are
+/// ordered by `(deadline, seq)`, seq is assigned at registration, and a
+/// popped task re-registers its next sleep immediately (before the next
+/// pop), exactly as `drain_ready` ran between timer pops.
+fn reference_order(workload: &[Vec<u64>]) -> Vec<Event> {
+    let mut heap: BinaryHeap<Reverse<(u64, u64, usize, usize)>> = BinaryHeap::new();
+    let mut seq = 0u64;
+    for (t, delays) in workload.iter().enumerate() {
+        if let Some(&d) = delays.first() {
+            heap.push(Reverse((d, seq, t, 0)));
+            seq += 1;
+        }
+    }
+    let mut events = Vec::new();
+    while let Some(Reverse((at, _, t, step))) = heap.pop() {
+        events.push((at, t, step));
+        if let Some(&d) = workload[t].get(step + 1) {
+            heap.push(Reverse((at + d, seq, t, step + 1)));
+            seq += 1;
+        }
+    }
+    events
+}
+
+/// Run the same workload on the real executor, recording events as each
+/// sleep completes.
+fn executor_order(workload: &[Vec<u64>]) -> Vec<Event> {
+    let mut sim = Sim::new(0xE0ED);
+    let log: Rc<RefCell<Vec<Event>>> = Rc::new(RefCell::new(Vec::new()));
+    let l2 = Rc::clone(&log);
+    let workload = workload.to_vec();
+    sim.block_on(move |sim| async move {
+        let mut handles = Vec::new();
+        for (t, delays) in workload.into_iter().enumerate() {
+            let s = sim.clone();
+            let l = Rc::clone(&l2);
+            handles.push(sim.spawn(async move {
+                for (step, d) in delays.into_iter().enumerate() {
+                    s.sleep_ns(d).await;
+                    l.borrow_mut().push((s.now().as_ns(), t, step));
+                }
+            }));
+        }
+        for h in handles {
+            h.await;
+        }
+    });
+    Rc::try_unwrap(log).expect("all tasks done").into_inner()
+}
+
+/// Per-step delay: mostly short (deep inside the wheel's span), sometimes
+/// slot-scale, sometimes far beyond the span (forcing overflow-heap
+/// traffic and window re-anchoring). Ties are likely: short delays repeat.
+fn delay() -> impl Strategy<Value = u64> {
+    prop_oneof![
+        1u64..5_000,
+        1u64..5_000,
+        1u64..5_000,
+        prop_oneof![Just(1024u64), Just(1023), Just(1025), Just(4096)],
+        4_000_000u64..20_000_000,
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Any mix of sleepers fires in exactly the old heap executor's
+    /// `(deadline, seq)` order, ties and far-future overflow included.
+    #[test]
+    fn wheel_schedule_matches_heap_reference(
+        workload in prop::collection::vec(
+            prop::collection::vec(delay(), 0..12),
+            1..16,
+        ),
+    ) {
+        let want = reference_order(&workload);
+        let got = executor_order(&workload);
+        prop_assert_eq!(got, want);
+    }
+}

@@ -26,6 +26,7 @@ pub use target::{ScrubFinding, ScrubReport, VosConfig, VosCounters, VosTarget};
 pub use tree::{CsumViolation, Extent, ExtentTree, ReadSeg};
 
 use bytes::Bytes;
+use std::cell::RefCell;
 
 /// An update epoch (DAOS uses HLC timestamps; monotonic u64 here).
 pub type Epoch = u64;
@@ -101,7 +102,12 @@ impl Payload {
             Payload::Bytes(b) => b.clone(),
             Payload::Pattern { seed, skew, len } => {
                 let mut v = Vec::with_capacity(*len as usize);
-                for i in 0..*len {
+                let mut gen = PatternWords::new(*seed, *skew);
+                let words = *len / 8;
+                for _ in 0..words {
+                    v.extend_from_slice(&gen.next_word().to_le_bytes());
+                }
+                for i in (words * 8)..*len {
                     v.push(pattern_byte(*seed, *skew + i));
                 }
                 Bytes::from(v)
@@ -139,10 +145,18 @@ impl Payload {
 pub const CSUM_SEED: u64 = 0xC5C5_5EED_DA05_0001;
 
 /// Seeded 64-bit checksum over a payload's *real bytes*. `Payload::Bytes`
-/// hashes the slice directly; `Payload::Pattern` streams through a
-/// fixed-size stack buffer so terabyte-scale synthetic payloads stay
-/// allocation-free. Both kinds of payload with identical bytes produce the
-/// identical checksum.
+/// hashes the slice directly; `Payload::Pattern` folds the synthetic
+/// stream word-by-word straight out of the generator, so terabyte-scale
+/// synthetic payloads stay allocation-free and never touch a byte buffer.
+/// Both kinds of payload with identical bytes produce the identical
+/// checksum.
+///
+/// The pattern path is a pure function of `(seed, pseed, skew, len)`, and
+/// the data path hashes each chunk several times (client wire checksum,
+/// server verify, stored extent checksum, fetch verify, reply checksum,
+/// scrubber), so results are memoised in a small per-thread direct-mapped
+/// cache. Memoising a pure function has no observable effect beyond host
+/// time — simulated time and every simulation outcome are unchanged.
 pub fn csum64(seed: u64, p: &Payload) -> u64 {
     match p {
         Payload::Bytes(b) => csum64_bytes(seed, b),
@@ -150,36 +164,127 @@ pub fn csum64(seed: u64, p: &Payload) -> u64 {
             seed: pseed,
             skew,
             len,
-        } => {
-            // Fill the buffer a whole splitmix block (8 bytes) at a
-            // time instead of calling `byte_at` per byte — `byte_at`
-            // rederives the block for every byte, which made checksum
-            // verification the dominant host cost of every simulated
-            // bulk write. The byte stream (and therefore the checksum
-            // value) is identical to the per-byte path; the equivalence
-            // test below pins that at every skew alignment.
-            let (pseed, skew, len) = (*pseed, *skew, *len);
-            let mut h = seed ^ len;
-            let mut buf = [0u8; 256];
-            let mut pos = 0u64;
-            while pos < len {
-                let n = (len - pos).min(256) as usize;
-                let mut i = 0usize;
-                while i < n {
-                    let q = skew + pos + i as u64;
-                    let block = daos_splitmix(pseed ^ (q >> 3).wrapping_mul(0x9E37_79B9_7F4A_7C15));
-                    let bytes = block.to_le_bytes();
-                    let start = (q & 7) as usize;
-                    let take = (8 - start).min(n - i);
-                    buf[i..i + take].copy_from_slice(&bytes[start..start + take]);
-                    i += take;
-                }
-                h = csum_fold(h, &buf[..n]);
-                pos += n as u64;
-            }
-            daos_splitmix(h)
+        } => csum64_pattern(seed, *pseed, *skew, *len),
+    }
+}
+
+/// Direct-mapped memo cache for [`csum64`] on pattern payloads. Entries
+/// below 1 KiB are not cached — the hash is cheaper than the lookup noise.
+/// `len == 0` marks an empty slot (zero-length payloads are never cached).
+#[derive(Clone, Copy)]
+struct CsumCacheEnt {
+    seed: u64,
+    pseed: u64,
+    skew: u64,
+    len: u64,
+    val: u64,
+}
+
+const CSUM_CACHE_SLOTS: usize = 8192;
+const CSUM_CACHE_MIN_LEN: u64 = 1024;
+
+thread_local! {
+    static CSUM_CACHE: RefCell<Vec<CsumCacheEnt>> = RefCell::new(vec![
+        CsumCacheEnt { seed: 0, pseed: 0, skew: 0, len: 0, val: 0 };
+        CSUM_CACHE_SLOTS
+    ]);
+}
+
+fn csum64_pattern(seed: u64, pseed: u64, skew: u64, len: u64) -> u64 {
+    if len < CSUM_CACHE_MIN_LEN {
+        return csum64_pattern_uncached(seed, pseed, skew, len);
+    }
+    let slot = (daos_splitmix(seed ^ pseed.rotate_left(17) ^ skew.rotate_left(34) ^ len) as usize)
+        & (CSUM_CACHE_SLOTS - 1);
+    CSUM_CACHE.with(|cache| {
+        let mut cache = cache.borrow_mut();
+        let ent = &mut cache[slot];
+        if ent.len == len && ent.seed == seed && ent.pseed == pseed && ent.skew == skew {
+            return ent.val;
+        }
+        let val = csum64_pattern_uncached(seed, pseed, skew, len);
+        *ent = CsumCacheEnt {
+            seed,
+            pseed,
+            skew,
+            len,
+            val,
+        };
+        val
+    })
+}
+
+/// Fold the synthetic stream directly: one splitmix block per 8 bytes,
+/// shifted into place when `skew` is unaligned, with no intermediate
+/// buffer. The byte stream (and therefore the checksum value) is identical
+/// to hashing the materialised bytes; the equivalence test below pins that
+/// at every skew alignment.
+fn csum64_pattern_uncached(seed: u64, pseed: u64, skew: u64, len: u64) -> u64 {
+    let mut h = seed ^ len;
+    let mut gen = PatternWords::new(pseed, skew);
+    let words = len / 8;
+    for _ in 0..words {
+        let v = gen.next_word();
+        h = (h ^ v).wrapping_mul(0x100_0000_01b3).rotate_left(23);
+    }
+    for i in (words * 8)..len {
+        h = (h ^ pattern_byte(pseed, skew + i) as u64).wrapping_mul(0x100_0000_01b3);
+    }
+    daos_splitmix(h)
+}
+
+/// Streaming 64-bit-word view of the synthetic pattern starting at stream
+/// position `skew`: each call yields the next 8 bytes as a little-endian
+/// word. When `skew` is block-unaligned every output word straddles two
+/// splitmix blocks; the high block is carried into the next call so the
+/// cost stays at one splitmix per word.
+struct PatternWords {
+    seed: u64,
+    /// Block index the next word starts in.
+    q: u64,
+    /// Bit shift of the stream position within its block (8 * (skew & 7)).
+    shift: u32,
+    /// `block(q)` for the upcoming word (valid when `shift != 0`).
+    carry: u64,
+}
+
+impl PatternWords {
+    fn new(seed: u64, skew: u64) -> Self {
+        let q = skew >> 3;
+        let shift = 8 * (skew & 7) as u32;
+        let carry = if shift != 0 {
+            pattern_block(seed, q)
+        } else {
+            0
+        };
+        PatternWords {
+            seed,
+            q,
+            shift,
+            carry,
         }
     }
+
+    #[inline]
+    fn next_word(&mut self) -> u64 {
+        if self.shift == 0 {
+            let w = pattern_block(self.seed, self.q);
+            self.q += 1;
+            w
+        } else {
+            let hi = pattern_block(self.seed, self.q + 1);
+            let w = (self.carry >> self.shift) | (hi << (64 - self.shift));
+            self.carry = hi;
+            self.q += 1;
+            w
+        }
+    }
+}
+
+/// The 8-byte splitmix block at block index `q` of the stream for `seed`.
+#[inline]
+fn pattern_block(seed: u64, q: u64) -> u64 {
+    daos_splitmix(seed ^ q.wrapping_mul(0x9E37_79B9_7F4A_7C15))
 }
 
 /// Seeded 64-bit checksum over literal bytes (same function as

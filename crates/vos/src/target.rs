@@ -242,15 +242,26 @@ impl VosTarget {
                 Some(false) => c.cold_dkey_inserts += 1,
                 None => {}
             }
-            let dk = obj.dkeys.entry(dkey.clone()).or_default();
-            obj.last_dkey = Some(dkey.clone());
-            let ak = dk.akeys.entry(akey.clone()).or_insert_with(|| {
+            // clone keys only on first touch: the steady state (same dkey
+            // as last op, existing akey) allocates nothing
+            if obj.last_dkey.as_ref() != Some(dkey) {
+                obj.last_dkey = Some(dkey.clone());
+            }
+            let dk = match hot_dkey {
+                None => obj.dkeys.get_mut(dkey).expect("existing dkey"),
+                Some(_) => obj.dkeys.entry(dkey.clone()).or_default(),
+            };
+            let ak = if dk.akeys.contains_key(akey) {
+                dk.akeys.get_mut(akey).expect("existing akey")
+            } else {
                 ops += self.cfg.akey_ops;
-                AkeyStore::Array {
-                    tree: ExtentTree::new(),
-                    last_end: 0,
-                }
-            });
+                dk.akeys
+                    .entry(akey.clone())
+                    .or_insert_with(|| AkeyStore::Array {
+                        tree: ExtentTree::new(),
+                        last_end: 0,
+                    })
+            };
             match ak {
                 AkeyStore::Array { tree, last_end } => {
                     ops += if offset == *last_end {
@@ -369,11 +380,19 @@ impl VosTarget {
             if new_dkey {
                 ops += self.cfg.dkey_cold_ops;
             }
-            let dk = obj.dkeys.entry(dkey.clone()).or_default();
-            let ak = dk.akeys.entry(akey.clone()).or_insert_with(|| {
+            let dk = if new_dkey {
+                obj.dkeys.entry(dkey.clone()).or_default()
+            } else {
+                obj.dkeys.get_mut(dkey).expect("existing dkey")
+            };
+            let ak = if dk.akeys.contains_key(akey) {
+                dk.akeys.get_mut(akey).expect("existing akey")
+            } else {
                 ops += self.cfg.akey_ops;
-                AkeyStore::Single(SingleValue::new())
-            });
+                dk.akeys
+                    .entry(akey.clone())
+                    .or_insert_with(|| AkeyStore::Single(SingleValue::new()))
+            };
             match ak {
                 AkeyStore::Single(sv) => sv.update(epoch, value),
                 AkeyStore::Array { .. } => panic!("akey type mismatch: array vs single"),

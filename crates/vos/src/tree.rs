@@ -5,6 +5,8 @@
 //! visible to reads at `e' >= e` unless shadowed by a newer overlapping
 //! extent with epoch `<= e'`, or hidden by a punch.
 
+use std::cell::RefCell;
+
 use crate::{csum64, Epoch, Payload, CSUM_SEED};
 
 /// One recorded write (or punch, when `data` is `None`) into an array akey.
@@ -75,6 +77,22 @@ struct Seg {
 pub struct ExtentTree {
     extents: Vec<Extent>,
     next_minor: u64,
+    /// Interval index over `extents`, rebuilt lazily after mutations so
+    /// write bursts don't pay per-insert maintenance.
+    index: RefCell<ExtentIndex>,
+}
+
+/// Dense-id interval index: extent ids (indices into `extents`) sorted by
+/// `(offset, id)`, plus `prefix_max_end[i]` = max `end()` over
+/// `by_start[0..=i]`. A range query `[offset, qend)` then reduces to two
+/// binary searches: ids at positions `< lo` all end at or before `offset`
+/// (prefix max is non-decreasing), ids at positions `>= hi` all start at
+/// or beyond `qend` — only `by_start[lo..hi]` need be tested.
+#[derive(Clone, Debug, Default)]
+struct ExtentIndex {
+    by_start: Vec<u32>,
+    prefix_max_end: Vec<u64>,
+    dirty: bool,
 }
 
 impl ExtentTree {
@@ -96,6 +114,7 @@ impl ExtentTree {
             data: Some(data),
             csum,
         });
+        self.index.borrow_mut().dirty = true;
     }
 
     /// Punch (logically zero) `[offset, offset+len)` at `epoch`.
@@ -110,6 +129,7 @@ impl ExtentTree {
             data: None,
             csum: 0,
         });
+        self.index.borrow_mut().dirty = true;
     }
 
     /// Number of stored extents (index size; drives media index cost).
@@ -216,18 +236,52 @@ impl ExtentTree {
         rotted
     }
 
+    /// Run `f` against an up-to-date interval index, rebuilding it first
+    /// if mutations invalidated it. Rebuild is `O(n log n)` but amortized:
+    /// a burst of inserts marks the index dirty once and the next query
+    /// pays a single rebuild (and appends arrive nearly sorted, which
+    /// `sort_unstable` handles in near-linear time).
+    fn with_index<R>(&self, f: impl FnOnce(&ExtentIndex) -> R) -> R {
+        let mut ix = self.index.borrow_mut();
+        let ix = &mut *ix;
+        if ix.dirty || ix.by_start.len() != self.extents.len() {
+            ix.by_start.clear();
+            ix.by_start.extend(0..self.extents.len() as u32);
+            ix.by_start
+                .sort_unstable_by_key(|&id| (self.extents[id as usize].offset, id));
+            ix.prefix_max_end.clear();
+            let mut m = 0u64;
+            for i in 0..ix.by_start.len() {
+                m = m.max(self.extents[ix.by_start[i] as usize].end());
+                ix.prefix_max_end.push(m);
+            }
+            ix.dirty = false;
+        }
+        f(ix)
+    }
+
     /// The paint algorithm shared by [`read`](Self::read) and
     /// [`verify_range`](Self::verify_range): overlay visible extents in
     /// `(epoch, minor)` order over the query range, returning coalesced
     /// segments plus the visible-extent list their `src` indices refer to.
     fn overlay(&self, offset: u64, len: u64, epoch: Epoch) -> (Vec<Seg>, Vec<&Extent>) {
         let qend = offset + len;
-        // visible extents in overlay order (older first, same epoch by minor)
-        let mut vis: Vec<&Extent> = self
-            .extents
-            .iter()
-            .filter(|e| e.epoch <= epoch && e.offset < qend && e.end() > offset)
-            .collect();
+        // visible extents in overlay order (older first, same epoch by
+        // minor) — candidates come from the interval index, then the
+        // epoch/end filters. The candidate *set* is identical to a full
+        // scan, and (epoch, minor) keys are unique, so the sorted order —
+        // all downstream behavior depends only on it — is too.
+        let mut vis: Vec<&Extent> = self.with_index(|ix| {
+            let hi = ix
+                .by_start
+                .partition_point(|&id| self.extents[id as usize].offset < qend);
+            let lo = ix.prefix_max_end[..hi].partition_point(|&m| m <= offset);
+            ix.by_start[lo..hi]
+                .iter()
+                .map(|&id| &self.extents[id as usize])
+                .filter(|e| e.epoch <= epoch && e.end() > offset)
+                .collect()
+        });
         vis.sort_by_key(|e| (e.epoch, e.minor));
 
         // paint: segment list covering the query range
@@ -339,6 +393,7 @@ impl ExtentTree {
             }
         }
         self.extents.extend(newer);
+        self.index.borrow_mut().dirty = true;
         reclaimed.saturating_sub(added)
     }
 }
