@@ -35,7 +35,7 @@ use std::rc::Rc;
 use daos_core::{Cluster, ClusterConfig, DaosClient, RetryPolicy};
 use daos_placement::{ObjectClass, ObjectId};
 use daos_sim::time::SimDuration;
-use daos_sim::units::{gib_per_sec, GIB, MIB};
+use daos_sim::units::{gib_per_sec, Gibps, MIB};
 use daos_sim::{PercentileSketch, Sim};
 use daos_vos::Payload;
 use rand::Rng;
@@ -394,7 +394,7 @@ pub fn traffic_point(mode: TrafficMode, load_pct: u32, params: TrafficParams) ->
     TrafficCell {
         series: series_out,
         load_pct,
-        offered_gib_s: offered_bps / GIB as f64,
+        offered_gib_s: Gibps::from_bytes_per_sec(offered_bps).0,
         goodput_gib_s: gib_per_sec(counters.good_bytes.get(), window_secs),
         p50_us: lat.quantile(0.50) as f64 / 1e3,
         p99_us: lat.quantile(0.99) as f64 / 1e3,

@@ -20,7 +20,7 @@ use daos_sim::time::SimDuration;
 use daos_sim::units::Bandwidth;
 use daos_sim::{Pipe, Semaphore, SharedPipe, Sim};
 use daos_vos::target::VosConfig;
-use daos_vos::{Payload, VosTarget};
+use daos_vos::VosTarget;
 
 use crate::proto::{wire_csum, wire_csum_segs, DaosError, Request, Response};
 use crate::rebuild::{CorruptionHook, CorruptionReport};
@@ -616,7 +616,7 @@ impl Engine {
                     return Response::Err(DaosError::CorruptFrame);
                 }
                 let epoch = target.next_epoch_at(sim.now().as_ns());
-                target
+                match target
                     .update_array(
                         sim,
                         cont,
@@ -627,8 +627,11 @@ impl Engine {
                         epoch,
                         data,
                     )
-                    .await;
-                Response::Written { epoch }
+                    .await
+                {
+                    Ok(_ops) => Response::Written { epoch },
+                    Err(e) => Response::Err(e.into()),
+                }
             }
             Request::FetchArray {
                 cont,
@@ -658,9 +661,9 @@ impl Engine {
                     .await
                 {
                     Ok(segs) => segs,
-                    // stored bytes disagree with the stored checksum:
-                    // silent media corruption, surfaced as a typed error
-                    Err(_violation) => return Response::Err(DaosError::CsumMismatch),
+                    // csum violations and akey-shape mismatches both map to
+                    // typed errors (CsumMismatch / KeyTypeMismatch)
+                    Err(e) => return Response::Err(e.into()),
                 };
                 let data: u64 = segs
                     .iter()
@@ -704,10 +707,13 @@ impl Engine {
                     return Response::Err(DaosError::CorruptFrame);
                 }
                 let epoch = target.next_epoch_at(sim.now().as_ns());
-                target
+                match target
                     .update_single(sim, cont, Self::oid_key(oid), &dkey, &akey, epoch, value)
-                    .await;
-                Response::Written { epoch }
+                    .await
+                {
+                    Ok(()) => Response::Written { epoch },
+                    Err(e) => Response::Err(e.into()),
+                }
             }
             Request::FetchSingle {
                 cont,
@@ -717,10 +723,13 @@ impl Engine {
                 epoch,
                 ..
             } => {
-                let v: Option<Payload> = target
+                match target
                     .fetch_single(sim, cont, Self::oid_key(oid), &dkey, &akey, epoch)
-                    .await;
-                Response::Single(v)
+                    .await
+                {
+                    Ok(v) => Response::Single(v),
+                    Err(e) => Response::Err(e.into()),
+                }
             }
             Request::PunchArray {
                 cont,
@@ -732,7 +741,7 @@ impl Engine {
                 ..
             } => {
                 let epoch = target.next_epoch_at(sim.now().as_ns());
-                target
+                match target
                     .punch_array(
                         sim,
                         cont,
@@ -743,8 +752,11 @@ impl Engine {
                         len,
                         epoch,
                     )
-                    .await;
-                Response::Ok
+                    .await
+                {
+                    Ok(()) => Response::Ok,
+                    Err(e) => Response::Err(e.into()),
+                }
             }
             Request::PunchObject { cont, oid, .. } => {
                 let epoch = target.next_epoch_at(sim.now().as_ns());

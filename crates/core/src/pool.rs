@@ -148,6 +148,8 @@ impl PoolState {
         if data.len() < 32 {
             return PoolState::default();
         }
+        // INVARIANT: slices are exactly 8 bytes by construction, so try_into
+        // to [u8; 8] cannot fail (length is checked before each region).
         let rd = |i: usize| u64::from_le_bytes(data[i..i + 8].try_into().unwrap());
         let connections = rd(0);
         let map_version = rd(8) as u32;

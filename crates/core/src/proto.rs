@@ -52,6 +52,13 @@ pub enum DaosError {
     /// Filesystem-level metadata (e.g. a DFS dirent) failed to deserialise:
     /// the stored record is structurally corrupt. Not retryable.
     CorruptMetadata(String),
+    /// A data-plane op addressed an akey whose stored value shape (array
+    /// vs single-value) disagrees with the op — a client protocol
+    /// violation. Not retryable: the key's shape won't change on resend.
+    KeyTypeMismatch {
+        /// Shape the op required (`"array"` or `"single"`).
+        expected: &'static str,
+    },
     /// Anything else.
     Other(String),
 }
@@ -93,11 +100,23 @@ impl std::fmt::Display for DaosError {
                 write!(f, "engine shed request at admission (queue depth {queued})")
             }
             DaosError::CorruptMetadata(s) => write!(f, "corrupt metadata: {s}"),
+            DaosError::KeyTypeMismatch { expected } => {
+                write!(f, "akey type mismatch: op requires a {expected} akey")
+            }
             DaosError::Other(s) => write!(f, "{s}"),
         }
     }
 }
 impl std::error::Error for DaosError {}
+
+impl From<daos_vos::VosError> for DaosError {
+    fn from(e: daos_vos::VosError) -> Self {
+        match e {
+            daos_vos::VosError::AkeyKind { expected } => DaosError::KeyTypeMismatch { expected },
+            daos_vos::VosError::Csum(_) => DaosError::CsumMismatch,
+        }
+    }
+}
 
 impl From<daos_fabric::CallError> for DaosError {
     fn from(e: daos_fabric::CallError) -> Self {

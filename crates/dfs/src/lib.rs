@@ -86,6 +86,8 @@ impl DirEntry {
             3 => EntryKind::Symlink,
             _ => return None,
         };
+        // INVARIANT: the 8-byte slice always converts to [u8; 8]; the length
+        // guard above ensures the fixed header region is present.
         let rd = |i: usize| u64::from_le_bytes(b[i..i + 8].try_into().ok().unwrap());
         let oid = ObjectId::new(rd(1), rd(9));
         let chunk_size = rd(17);

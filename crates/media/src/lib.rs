@@ -23,7 +23,7 @@
 use std::rc::Rc;
 
 use daos_sim::time::{SimDuration, SimTime};
-use daos_sim::units::{Bandwidth, GIB, KIB};
+use daos_sim::units::{Bandwidth, Gibps, KIB};
 use daos_sim::{Pipe, Semaphore, SharedPipe, Sim};
 
 /// Which class of hardware a device models (used in reports).
@@ -252,7 +252,7 @@ impl Dram {
     }
     /// Typical dual-socket copy bandwidth.
     pub fn default_node(name: &str) -> Rc<Self> {
-        Self::new(name, Bandwidth::bytes_per_sec(80.0 * GIB as f64))
+        Self::new(name, Gibps(80.0).bandwidth())
     }
 }
 

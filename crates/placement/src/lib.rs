@@ -570,6 +570,8 @@ fn place_protected(oid: ObjectId, class: ObjectClass, map: &PoolMap) -> Layout {
                 .map(slot)
                 .find(|t| !map.is_excluded(*t) && !group_targets.contains(t))
                 .or_else(|| (0..tpe as u64).map(slot).find(|t| !map.is_excluded(*t)))
+                // INVARIANT: the candidate loop above skipped engines with
+                // zero active targets, so at least one slot is not excluded.
                 .expect("live engine must have an active target");
             group_targets[c as usize] = pick;
         }

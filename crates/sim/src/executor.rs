@@ -7,7 +7,7 @@
 //! `(deadline, registration sequence)` and the ready queue is FIFO, so runs
 //! are deterministic.
 //!
-//! The timer store is a calendar queue ([`TimerWheel`]): a ring of
+//! The timer store is a calendar queue (`TimerWheel`, private): a ring of
 //! fixed-width slots covering the near future, with a binary-heap overflow
 //! for deadlines beyond the ring's span. Most simulated waits (RPC legs,
 //! media transfers, per-message CPU) land within a few microseconds of
@@ -279,6 +279,8 @@ impl TimerWheel {
                 return Some((idx, d));
             }
         }
+        // INVARIANT: ring_len > 0 implies at least one occupancy bit is set;
+        // insert/remove update the bitmap and counter together.
         unreachable!("ring_len > 0 but no occupancy bit set")
     }
 
@@ -289,6 +291,8 @@ impl TimerWheel {
             (&Some((idx, _)), Some(Reverse(h))) => {
                 let slot = &mut self.slots[idx];
                 slot.sort_if_dirty();
+                // INVARIANT: first_occupied only returns slots whose occupancy
+                // bit is set, and the bit is cleared when the slot drains.
                 let m = slot.ents.last().expect("occupied slot is non-empty");
                 (m.at, m.seq) < (h.at, h.seq)
             }
@@ -297,12 +301,15 @@ impl TimerWheel {
             (None, None) => return None,
         };
         if use_ring {
+            // INVARIANT: use_ring is only true in match arms where `ring` is Some.
             let (idx, d) = ring.expect("ring path requires an occupied slot");
             // advance the window to the popped slot
             self.start += d as u64 * SLOT_NS;
             self.cursor = idx;
             let slot = &mut self.slots[idx];
             slot.sort_if_dirty();
+            // INVARIANT: same occupancy-bit claim as above — the popped slot
+            // index came from a set bit in `occupied`.
             let ent = slot.ents.pop().expect("occupied slot is non-empty");
             if slot.ents.is_empty() {
                 self.occupied[idx / 64] &= !(1 << (idx % 64));
@@ -310,6 +317,8 @@ impl TimerWheel {
             self.ring_len -= 1;
             Some(ent)
         } else {
+            // INVARIANT: the !use_ring arms all peeked Some from `overflow`,
+            // and nothing pops it between the peek and here.
             let Reverse(ent) = self.overflow.pop().expect("overflow path peeked an entry");
             if self.ring_len == 0 {
                 // the ring is drained and time jumped to a far deadline:
@@ -321,6 +330,7 @@ impl TimerWheel {
                     if h.at >= self.start + WHEEL_SPAN {
                         break;
                     }
+                    // INVARIANT: the loop condition just peeked Some.
                     let Reverse(h) = self.overflow.pop().expect("peeked entry pops");
                     self.ring_insert(h);
                 }
@@ -363,6 +373,8 @@ impl TaskArena {
                 id
             }
             None => {
+                // INVARIANT: more than u32::MAX concurrently-live tasks exceeds
+                // any simulated cluster by orders of magnitude; treat as OOM.
                 let id = u32::try_from(self.slots.len()).expect("task arena overflow");
                 self.slots.push(Some(fut));
                 id
@@ -663,6 +675,9 @@ impl Sim {
                     self.inner.now.set(ent.at);
                     ent.waker.wake();
                 }
+                // INVARIANT: quiescence with the root unfinished is a deadlock
+                // in the simulated system; aborting loudly is the contract
+                // block_on documents.
                 None => panic!(
                     "simulation deadlock: root task blocked with no pending events \
                      ({} tasks alive at {})",
@@ -677,6 +692,8 @@ impl Sim {
         self.inner.ready.borrow_mut().clear();
         self.inner.live_tasks.set(0);
         let out = handle.state.borrow_mut().result.take();
+        // INVARIANT: the loop above only exits when `finished` is set, and the
+        // task stores its result before setting `finished`.
         out.expect("root task finished without storing a result")
     }
 }

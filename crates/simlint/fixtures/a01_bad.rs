@@ -1,0 +1,14 @@
+// Planted A01 violations: guards live across .await.
+
+async fn held_across(cell: &RefCell<u64>, sim: &Sim) {
+    let total = cell.borrow_mut();
+    sim.sleep(SimDuration::from_us(1)).await;
+    drop(total);
+}
+
+async fn lock_in_cond(m: &Mutex<u64>, sim: &Sim) {
+    if let Ok(g) = m.lock() {
+        sim.sleep(SimDuration::from_us(1)).await;
+        let _ = g;
+    }
+}

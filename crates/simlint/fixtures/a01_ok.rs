@@ -1,0 +1,30 @@
+// Clean A01: scoped, dropped, extracted, and task-isolated guards.
+
+async fn scoped(cell: &RefCell<u64>, sim: &Sim) {
+    {
+        let mut g = cell.borrow_mut();
+        *g += 1;
+    }
+    sim.sleep(SimDuration::from_us(1)).await;
+}
+
+async fn dropped(cell: &RefCell<u64>, sim: &Sim) {
+    let g = cell.borrow();
+    let snapshot = *g;
+    drop(g);
+    sim.sleep(SimDuration::from_ns(snapshot)).await;
+}
+
+async fn extracted(cell: &RefCell<Vec<u64>>, sim: &Sim) {
+    let first = cell.borrow().first().cloned();
+    sim.sleep(SimDuration::from_us(1)).await;
+    let _ = first;
+}
+
+fn spawn_isolated(cell: &RefCell<u64>, sim: &Sim) {
+    let g = cell.borrow_mut();
+    sim.spawn(async move {
+        step().await;
+    });
+    drop(g);
+}

@@ -1,0 +1,9 @@
+// Planted C01 violations: payload iteration without charging media time.
+
+async fn hash_only(&self, sim: &Sim) -> u64 {
+    csum64_bytes(SEED, &self.payload)
+}
+
+async fn peek(&self) -> Vec<u8> {
+    self.value.materialize()
+}

@@ -1,0 +1,18 @@
+// Clean C01: iteration paired with charges, sync helpers, tests exempt.
+
+async fn verified_read(&self, sim: &Sim) -> u64 {
+    self.media.read_payload(sim, self.len).await;
+    csum64_bytes(SEED, &self.payload)
+}
+
+pub fn sync_helper(p: &[u8]) -> usize {
+    p.chunks_exact(8).count()
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn hashes_in_tests() {
+        let _ = csum64_bytes(0, &[1, 2, 3]);
+    }
+}

@@ -1,0 +1,24 @@
+// Planted P01 violations: panics on simulation-visible paths.
+
+fn first(x: Option<u32>) -> u32 {
+    x.unwrap()
+}
+
+fn second(x: Option<u32>) -> u32 {
+    x.expect("always set")
+}
+
+fn third(kind: u8) -> u32 {
+    match kind {
+        0 => 0,
+        1 => panic!("bad kind"),
+        _ => unreachable!(),
+    }
+}
+
+fn shared_audit(a: Option<u32>, b: Option<u32>) -> u32 {
+    // INVARIANT: both checked by the caller
+    let x = a.unwrap();
+    let y = b.unwrap();
+    x + y
+}

@@ -1,0 +1,28 @@
+// Clean P01: audited invariants, test-only panics, lookalike idents.
+
+fn audited(x: Option<u32>) -> u32 {
+    // INVARIANT: caller guarantees Some (checked at dispatch)
+    x.unwrap()
+}
+
+fn same_line(y: Option<u32>) -> u32 {
+    y.expect("set above") // INVARIANT: y assigned by the dispatcher
+}
+
+fn lookalikes(x: Option<u32>) -> u32 {
+    x.unwrap_or(7)
+}
+
+fn unwrap() -> u32 {
+    3
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn asserts_panic_freely() {
+        let x: Option<u32> = Some(1);
+        x.unwrap();
+        panic!("tests may panic");
+    }
+}

@@ -1,0 +1,9 @@
+// Planted U01 violations: raw casts crossing unit families.
+
+fn wire_time(bytes: u64, bw: f64) -> u64 {
+    (bytes as f64 * 1e9 / bw) as u64
+}
+
+fn offered_rate(bytes: u64, elapsed_ns: u64) -> f64 {
+    bytes as f64 / (elapsed_ns as f64 / 1e9)
+}

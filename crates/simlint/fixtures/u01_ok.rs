@@ -1,0 +1,13 @@
+// Clean U01: single-family casts and typed conversions.
+
+fn widen(count: usize) -> u64 {
+    count as u64
+}
+
+fn mean(vals: &[f64]) -> f64 {
+    vals.iter().sum::<f64>() / vals.len() as f64
+}
+
+fn typed(bw: Bandwidth, payload: Bytes) -> Nanos {
+    bw.ns_for_bytes(payload)
+}

@@ -1,21 +1,27 @@
 //! A minimal hand-rolled Rust lexer — just enough structure to tell
 //! *code* apart from *non-code*.
 //!
-//! The rule engine only ever needs three facts about a source file:
+//! The rule engine needs four facts about a source file:
 //!
 //! 1. the stream of identifier / `::` tokens that the compiler would see
 //!    as code (so `"HashMap"` in a string literal or `// HashMap` in a
 //!    comment can never trip a rule);
-//! 2. the comments, with their spans, so pragmas and `SAFETY:`
-//!    justifications can be located;
-//! 3. which lines carry any code at all, so a standalone pragma comment
+//! 2. the *structural* punctuation — braces, brackets, parens, `.`,
+//!    `;`, `#`, `!` and friends — that the [`crate::structure`] tracker
+//!    uses to recover fn boundaries, block spans and `.await` points;
+//! 3. the comments, with their spans, so pragmas, `SAFETY:` and
+//!    `INVARIANT:` justifications can be located;
+//! 4. which lines carry any code at all, so a standalone pragma comment
 //!    can be attached to "the next code line".
 //!
-//! Everything else (numbers, most punctuation, attributes) is consumed
-//! and discarded. The tricky parts are the ones that hide rule keywords
+//! Everything else (numbers, the remaining punctuation) is consumed and
+//! discarded. The tricky parts are the ones that hide rule keywords
 //! from naive `grep`: string literals with escapes, raw strings with
 //! arbitrary `#` fences (`r#"…"#`), byte/C-string prefixes, nested block
-//! comments, and `'a` lifetimes vs `'a'` char literals.
+//! comments, and `'a` lifetimes vs `'a'` char literals. Line endings
+//! are normalised: `\r\n` sources lex to the same tokens, lines and
+//! comment *text* as their `\n` twins, and a file whose last line lacks
+//! a trailing newline anchors that line exactly like any other.
 
 use std::collections::BTreeSet;
 
@@ -29,12 +35,31 @@ pub struct Token {
     pub col: u32,
 }
 
+/// The structural punctuation bytes [`lex`] emits as [`TokKind::Punct`].
+/// Everything else non-alphanumeric is consumed and discarded.
+pub const STRUCT_PUNCT: &[u8] = b"{}()[]#.;=,!&<>";
+
 #[derive(Clone, Debug, PartialEq, Eq)]
 pub enum TokKind {
     /// An identifier or keyword (`HashMap`, `thread_rng`, `unsafe`, …).
     Ident(String),
-    /// The `::` path separator — the only punctuation rules care about.
+    /// The `::` path separator.
     PathSep,
+    /// One structural punctuation byte from [`STRUCT_PUNCT`].
+    Punct(u8),
+}
+
+impl TokKind {
+    /// Is this token the given punctuation byte?
+    #[inline]
+    pub fn is_punct(&self, b: u8) -> bool {
+        matches!(self, TokKind::Punct(p) if *p == b)
+    }
+    /// Is this token the given identifier?
+    #[inline]
+    pub fn is_ident(&self, id: &str) -> bool {
+        matches!(self, TokKind::Ident(s) if s == id)
+    }
 }
 
 /// One comment (line or block), with the line it *starts* on.
@@ -132,8 +157,12 @@ pub fn lex(src: &str) -> Lexed {
             while i < b.len() && b[i] != b'\n' {
                 bump!();
             }
+            // CRLF sources leave a `\r` before the `\n`; strip it so the
+            // comment *text* (pragmas, SAFETY:/INVARIANT: audits) is
+            // byte-identical to the `\n`-only twin of the file.
+            let text = src[start..i].strip_suffix('\r').unwrap_or(&src[start..i]);
             out.comments.push(Comment {
-                text: src[start..i].to_string(),
+                text: text.to_string(),
                 line: start_line,
             });
             out.comment_lines.insert(start_line);
@@ -166,8 +195,14 @@ pub fn lex(src: &str) -> Lexed {
                 }
             }
             let end = end.min(b.len());
+            // Normalise interior CRLF so multi-line comment text matching
+            // (e.g. `SAFETY:` heads) is line-ending agnostic.
+            let mut text = src[start..end].to_string();
+            if text.contains('\r') {
+                text = text.replace("\r\n", "\n");
+            }
             out.comments.push(Comment {
-                text: src[start..end].to_string(),
+                text,
                 line: start_line,
             });
             for l in start_line..=line {
@@ -318,6 +353,16 @@ pub fn lex(src: &str) -> Lexed {
             bump!();
             continue;
         }
+        // ---- structural punctuation -------------------------------------
+        if STRUCT_PUNCT.contains(&c) {
+            out.tokens.push(Token {
+                kind: TokKind::Punct(c),
+                line,
+                col,
+            });
+            bump!();
+            continue;
+        }
         // ---- anything else: ignorable punctuation -----------------------
         bump!();
     }
@@ -334,7 +379,7 @@ mod tests {
             .into_iter()
             .filter_map(|t| match t.kind {
                 TokKind::Ident(s) => Some(s),
-                TokKind::PathSep => None,
+                _ => None,
             })
             .collect()
     }
@@ -410,5 +455,61 @@ mod tests {
         let t = &lx.tokens[0];
         assert_eq!(t.line, 3);
         assert!(matches!(&t.kind, TokKind::Ident(s) if s == "thread_rng"));
+    }
+
+    #[test]
+    fn structural_punctuation_is_tokenized() {
+        let toks = lex("fn f() { x.await; g!() }").tokens;
+        let puncts: Vec<u8> = toks
+            .iter()
+            .filter_map(|t| match t.kind {
+                TokKind::Punct(p) => Some(p),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(
+            puncts,
+            vec![b'(', b')', b'{', b'.', b';', b'!', b'(', b')', b'}']
+        );
+    }
+
+    #[test]
+    fn crlf_sources_lex_identically_to_lf_twins() {
+        let lf = "fn f() {\n    // simlint: allow(D02) why\n    let t = now();\n}\n\
+                  /* SAFETY: multi\nline head */\nlet s = r\"keep\";\nlet c = 'q';\n";
+        let crlf = lf.replace('\n', "\r\n");
+        let a = lex(lf);
+        let b = lex(&crlf);
+        assert_eq!(a.tokens, b.tokens, "token stream differs under CRLF");
+        assert_eq!(
+            a.comments, b.comments,
+            "comment text/lines differ under CRLF"
+        );
+        assert_eq!(a.code_lines, b.code_lines);
+        assert_eq!(a.comment_lines, b.comment_lines);
+    }
+
+    #[test]
+    fn crlf_raw_string_interior_is_preserved() {
+        // A raw string's *contents* must not be rewritten — only comment
+        // text is normalised.
+        let lx = lex("let s = r\"a\r\nb\"; now();");
+        assert!(lx.tokens.iter().any(|t| t.kind.is_ident("now")));
+        assert_eq!(lx.tokens.last().unwrap().line, 2);
+    }
+
+    #[test]
+    fn last_line_pragma_without_trailing_newline_is_anchored() {
+        // trailing pragma at EOF, LF file with no final newline
+        let lx = lex("fn f() {}\nlet x = 1; // simlint: allow(D02) tail");
+        let c = lx.comments.last().unwrap();
+        assert_eq!(c.line, 2);
+        assert_eq!(c.text.trim(), "simlint: allow(D02) tail");
+        assert!(lx.code_lines.contains(&2));
+        // same, CRLF file ending in a bare `\r` (no `\n`)
+        let lx = lex("fn f() {}\r\nlet x = 1; // simlint: allow(D02) tail\r");
+        let c = lx.comments.last().unwrap();
+        assert_eq!(c.line, 2);
+        assert_eq!(c.text.trim(), "simlint: allow(D02) tail");
     }
 }

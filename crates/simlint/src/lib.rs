@@ -16,6 +16,20 @@
 //! | D05  | every `unsafe` block carries its own adjacent `// SAFETY:` justification — one comment per block |
 //! | D00  | pragma hygiene: every waiver is well-formed, reasoned, and actually waives something |
 //!
+//! Four *structural* families (see [`families`]) run on top of the
+//! [`structure`] index — fn boundaries, block spans, `.await` points:
+//!
+//! | rule | contract |
+//! |------|----------|
+//! | P01  | panic-freedom in simulation-visible crates; sites carry an audited `// INVARIANT:` comment or return typed errors |
+//! | U01  | no raw numeric cast in a statement mixing bytes/nanoseconds/rate vocabulary — use `sim::units` newtypes |
+//! | A01  | no `RefCell` borrow or lock guard live across `.await` |
+//! | C01  | async payload iteration in `vos`/`media` must reach the charged cost engine |
+//!
+//! Legacy P01/U01 debt is carried by a committed ratchet baseline
+//! ([`baseline`], `results/simlint_baseline.json`): per-file counts may
+//! only decrease, and new code gates at zero.
+//!
 //! Legitimate exceptions are documented **at the use site** with a
 //! pragma and counted in the report:
 //!
@@ -30,7 +44,10 @@
 
 #![forbid(unsafe_code)]
 
+pub mod baseline;
+pub mod families;
 pub mod lexer;
+pub mod structure;
 
 use std::collections::{BTreeMap, BTreeSet};
 use std::fmt::Write as _;
@@ -105,7 +122,9 @@ pub static RULES: [Rule; 4] = [
 ];
 
 /// Rule ids a pragma may waive.
-pub const WAIVABLE: [&str; 5] = ["D01", "D02", "D03", "D04", "D05"];
+pub const WAIVABLE: [&str; 9] = [
+    "D01", "D02", "D03", "D04", "D05", "P01", "U01", "A01", "C01",
+];
 
 const D05_ID: &str = "D05";
 const D05_TITLE: &str = "every unsafe block carries its own SAFETY comment";
@@ -131,8 +150,15 @@ pub struct FileReport {
     pub violations: Vec<Hit>,
     /// Hits documented at the use site with a pragma.
     pub waived: Vec<Hit>,
-    /// Hits inside a rule's sanctioned zone (e.g. D04 in `crates/bench`).
+    /// Hits inside a rule's sanctioned zone (e.g. D04 in `crates/bench`,
+    /// U01 in the blessed conversion modules).
     pub sanctioned: Vec<Hit>,
+    /// P01 sites carrying an audited `// INVARIANT:` justification;
+    /// `reason` holds the invariant text.
+    pub audited: Vec<Hit>,
+    /// Legacy debt excused by the committed ratchet baseline (filled by
+    /// [`baseline::apply`], empty straight out of [`analyze_source`]).
+    pub baseline_excused: Vec<Hit>,
 }
 
 // ---------------------------------------------------------------------
@@ -374,6 +400,23 @@ pub fn analyze_source(rel_path: &str, src: &str) -> FileReport {
         }
     }
 
+    // -- structural families P01 / U01 / A01 / C01 --------------------
+    let st = structure::build(&lx);
+    for fh in families::check(rel_path, &lx, &st) {
+        let hit = Hit {
+            rule: fh.rule,
+            line: fh.line,
+            col: fh.col,
+            what: fh.what,
+            reason: fh.audited.clone(),
+        };
+        if fh.audited.is_some() {
+            out.audited.push(hit);
+        } else {
+            route(&mut pragmas, hit, fh.sanctioned);
+        }
+    }
+
     // -- D00: stale pragmas -------------------------------------------
     for p in &pragmas {
         for (ri, used) in p.used.iter().enumerate() {
@@ -516,6 +559,10 @@ fn rule_heading(id: &str) -> String {
     match id {
         D05_ID => format!("{D05_ID} — {D05_TITLE}"),
         D00_ID => format!("{D00_ID} — {D00_TITLE}"),
+        families::P01_ID => format!("{} — {}", families::P01_ID, families::P01_TITLE),
+        families::U01_ID => format!("{} — {}", families::U01_ID, families::U01_TITLE),
+        families::A01_ID => format!("{} — {}", families::A01_ID, families::A01_TITLE),
+        families::C01_ID => format!("{} — {}", families::C01_ID, families::C01_TITLE),
         other => other.to_string(),
     }
 }
@@ -526,6 +573,8 @@ pub fn render_report(reports: &[FileReport]) -> (String, usize) {
     let mut waived: Vec<(&FileReport, &Hit)> = Vec::new();
     let mut sanctioned: Vec<(&FileReport, &Hit)> = Vec::new();
     let mut violations = 0usize;
+    let mut audited = 0usize;
+    let mut excused = 0usize;
     for fr in reports {
         for h in &fr.violations {
             by_rule.entry(h.rule).or_default().push((fr, h));
@@ -533,6 +582,8 @@ pub fn render_report(reports: &[FileReport]) -> (String, usize) {
         }
         waived.extend(fr.waived.iter().map(|h| (fr, h)));
         sanctioned.extend(fr.sanctioned.iter().map(|h| (fr, h)));
+        audited += fr.audited.len();
+        excused += fr.baseline_excused.len();
     }
 
     let mut s = String::new();
@@ -560,7 +611,7 @@ pub fn render_report(reports: &[FileReport]) -> (String, usize) {
     if !sanctioned.is_empty() {
         let _ = writeln!(
             s,
-            "\nsanctioned-zone hits ({}, D04 carve-out):",
+            "\nsanctioned-zone hits ({}, rule carve-outs):",
             sanctioned.len()
         );
         for (fr, h) in &sanctioned {
@@ -569,10 +620,12 @@ pub fn render_report(reports: &[FileReport]) -> (String, usize) {
     }
     let _ = writeln!(
         s,
-        "\nsummary: {} violation(s), {} waived, {} sanctioned",
+        "\nsummary: {} violation(s), {} waived, {} sanctioned, {} audited INVARIANT, {} baseline-excused",
         violations,
         waived.len(),
-        sanctioned.len()
+        sanctioned.len(),
+        audited,
+        excused,
     );
     (s, violations)
 }

@@ -22,7 +22,7 @@
 pub mod target;
 pub mod tree;
 
-pub use target::{ScrubFinding, ScrubReport, VosConfig, VosCounters, VosTarget};
+pub use target::{ScrubFinding, ScrubReport, VosConfig, VosCounters, VosError, VosTarget};
 pub use tree::{CsumViolation, Extent, ExtentTree, ReadSeg};
 
 use bytes::Bytes;
@@ -299,6 +299,7 @@ pub fn csum64_bytes(seed: u64, bytes: &[u8]) -> u64 {
 fn csum_fold(mut h: u64, chunk: &[u8]) -> u64 {
     let mut words = chunk.chunks_exact(8);
     for w in &mut words {
+        // INVARIANT: chunks_exact(8) yields exactly-8-byte slices.
         let v = u64::from_le_bytes(w.try_into().unwrap());
         h = (h ^ v).wrapping_mul(0x100_0000_01b3).rotate_left(23);
     }

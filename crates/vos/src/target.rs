@@ -110,6 +110,39 @@ pub struct ScrubReport {
     pub findings: Vec<ScrubFinding>,
 }
 
+/// Typed VOS-level failure, surfaced to the RPC layer as an error reply
+/// instead of aborting the engine on a malformed data-plane op.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum VosError {
+    /// The addressed akey exists but stores the other value shape than the
+    /// op expects (`expected` is `"array"` or `"single"`). A client-side
+    /// protocol violation; not retryable — the key's shape won't change.
+    AkeyKind {
+        /// Shape the op required.
+        expected: &'static str,
+    },
+    /// Stored extent bytes disagree with their stored checksum: silent
+    /// media corruption detected on the fetch path.
+    Csum(CsumViolation),
+}
+
+impl std::fmt::Display for VosError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            VosError::AkeyKind { expected } => {
+                write!(f, "akey type mismatch: op requires a {expected} akey")
+            }
+            VosError::Csum(v) => write!(
+                f,
+                "checksum violation at [{}, {})",
+                v.offset,
+                v.offset + v.len
+            ),
+        }
+    }
+}
+impl std::error::Error for VosError {}
+
 enum AkeyStore {
     Array { tree: ExtentTree, last_end: u64 },
     Single(SingleValue),
@@ -204,7 +237,8 @@ impl VosTarget {
 
     /// Write `data` into an array akey at `offset` with epoch `epoch`.
     ///
-    /// Returns the number of index ops charged (for tests/ablation).
+    /// Returns the number of index ops charged (for tests/ablation), or
+    /// [`VosError::AkeyKind`] if the akey holds a single value.
     #[allow(clippy::too_many_arguments)]
     pub async fn update_array(
         &self,
@@ -216,7 +250,7 @@ impl VosTarget {
         offset: u64,
         epoch: Epoch,
         data: Payload,
-    ) -> u64 {
+    ) -> Result<u64, VosError> {
         let len = data.len();
         let ops = {
             let mut conts = self.containers.borrow_mut();
@@ -248,10 +282,12 @@ impl VosTarget {
                 obj.last_dkey = Some(dkey.clone());
             }
             let dk = match hot_dkey {
+                // INVARIANT: hot_dkey is None exactly when contains_key was true.
                 None => obj.dkeys.get_mut(dkey).expect("existing dkey"),
                 Some(_) => obj.dkeys.entry(dkey.clone()).or_default(),
             };
             let ak = if dk.akeys.contains_key(akey) {
+                // INVARIANT: guarded by contains_key on the same map.
                 dk.akeys.get_mut(akey).expect("existing akey")
             } else {
                 ops += self.cfg.akey_ops;
@@ -272,7 +308,7 @@ impl VosTarget {
                     tree.insert(offset, epoch, data);
                     *last_end = offset + len;
                 }
-                AkeyStore::Single(_) => panic!("akey type mismatch: single vs array"),
+                AkeyStore::Single(_) => return Err(VosError::AkeyKind { expected: "array" }),
             }
             if c.obj_creates < u64::MAX {
                 // count object creation via ops delta marker below
@@ -284,7 +320,7 @@ impl VosTarget {
         };
         self.media.write_payload(sim, len).await;
         self.media.index_update(sim, ops).await;
-        ops
+        Ok(ops)
     }
 
     /// Read `[offset, offset+len)` from an array akey as of `epoch`,
@@ -302,19 +338,20 @@ impl VosTarget {
         offset: u64,
         len: u64,
         epoch: Epoch,
-    ) -> Result<Vec<ReadSeg>, CsumViolation> {
+    ) -> Result<Vec<ReadSeg>, VosError> {
         let (segs, violation) = {
             let conts = self.containers.borrow();
-            let tree = conts
+            let tree = match conts
                 .get(&cid)
                 .and_then(|c| c.objects.get(&oid))
                 .filter(|o| o.punched_at.map(|p| epoch < p).unwrap_or(true))
                 .and_then(|o| o.dkeys.get(dkey))
                 .and_then(|d| d.akeys.get(akey))
-                .map(|a| match a {
-                    AkeyStore::Array { tree, .. } => tree,
-                    AkeyStore::Single(_) => panic!("akey type mismatch: array vs single"),
-                });
+            {
+                Some(AkeyStore::Array { tree, .. }) => Some(tree),
+                Some(AkeyStore::Single(_)) => return Err(VosError::AkeyKind { expected: "array" }),
+                None => None,
+            };
             match tree {
                 Some(tree) => {
                     let violation = if self.cfg.csum_enabled {
@@ -350,7 +387,7 @@ impl VosTarget {
         self.media.scm().read(sim, self.cfg.fetch_index_bytes).await;
         self.media.read_payload(sim, data_bytes).await;
         match violation {
-            Some(v) => Err(v),
+            Some(v) => Err(VosError::Csum(v)),
             None => Ok(segs),
         }
     }
@@ -366,7 +403,7 @@ impl VosTarget {
         akey: &Key,
         epoch: Epoch,
         value: Payload,
-    ) {
+    ) -> Result<(), VosError> {
         let len = value.len();
         let ops = {
             let mut conts = self.containers.borrow_mut();
@@ -383,9 +420,11 @@ impl VosTarget {
             let dk = if new_dkey {
                 obj.dkeys.entry(dkey.clone()).or_default()
             } else {
+                // INVARIANT: !new_dkey means contains_key was true just above.
                 obj.dkeys.get_mut(dkey).expect("existing dkey")
             };
             let ak = if dk.akeys.contains_key(akey) {
+                // INVARIANT: guarded by contains_key on the same map.
                 dk.akeys.get_mut(akey).expect("existing akey")
             } else {
                 ops += self.cfg.akey_ops;
@@ -395,7 +434,7 @@ impl VosTarget {
             };
             match ak {
                 AkeyStore::Single(sv) => sv.update(epoch, value),
-                AkeyStore::Array { .. } => panic!("akey type mismatch: array vs single"),
+                AkeyStore::Array { .. } => return Err(VosError::AkeyKind { expected: "single" }),
             }
             let mut c = self.counters.borrow_mut();
             c.updates += 1;
@@ -405,6 +444,7 @@ impl VosTarget {
         };
         self.media.write_payload(sim, len).await;
         self.media.index_update(sim, ops).await;
+        Ok(())
     }
 
     /// Read a single-value akey as of `epoch`.
@@ -416,19 +456,22 @@ impl VosTarget {
         dkey: &Key,
         akey: &Key,
         epoch: Epoch,
-    ) -> Option<Payload> {
+    ) -> Result<Option<Payload>, VosError> {
         let val = {
             let conts = self.containers.borrow();
-            conts
+            match conts
                 .get(&cid)
                 .and_then(|c| c.objects.get(&oid))
                 .filter(|o| o.punched_at.map(|p| epoch < p).unwrap_or(true))
                 .and_then(|o| o.dkeys.get(dkey))
                 .and_then(|d| d.akeys.get(akey))
-                .and_then(|a| match a {
-                    AkeyStore::Single(sv) => sv.fetch(epoch).cloned(),
-                    AkeyStore::Array { .. } => panic!("akey type mismatch"),
-                })
+            {
+                Some(AkeyStore::Single(sv)) => sv.fetch(epoch).cloned(),
+                Some(AkeyStore::Array { .. }) => {
+                    return Err(VosError::AkeyKind { expected: "single" })
+                }
+                None => None,
+            }
         };
         let bytes = val.as_ref().map(|v| v.len()).unwrap_or(0);
         {
@@ -440,7 +483,7 @@ impl VosTarget {
         if bytes > 0 {
             self.media.read_payload(sim, bytes).await;
         }
-        val
+        Ok(val)
     }
 
     /// Punch (logically zero) a byte range of an array akey at `epoch`.
@@ -455,7 +498,7 @@ impl VosTarget {
         offset: u64,
         len: u64,
         epoch: Epoch,
-    ) {
+    ) -> Result<(), VosError> {
         {
             let mut conts = self.containers.borrow_mut();
             if let Some(ak) = conts
@@ -466,11 +509,12 @@ impl VosTarget {
             {
                 match ak {
                     AkeyStore::Array { tree, .. } => tree.punch(offset, len, epoch),
-                    AkeyStore::Single(_) => panic!("akey type mismatch"),
+                    AkeyStore::Single(_) => return Err(VosError::AkeyKind { expected: "array" }),
                 }
             }
         }
         self.media.index_update(sim, self.cfg.extent_cold_ops).await;
+        Ok(())
     }
 
     /// Punch a whole object at `epoch` (unlink).
@@ -725,7 +769,8 @@ mod tests {
                     e,
                     p.clone(),
                 )
-                .await;
+                .await
+                .unwrap();
                 let segs = t
                     .fetch_array(&sim, 1, 42, &crate::key("d0"), &crate::key("a"), 0, 4096, e)
                     .await
@@ -759,7 +804,8 @@ mod tests {
                     let dk = format!("{:08}", i).into_bytes();
                     seq_ops += t
                         .update_array(&sim, 1, 1, &dk, &a, 0, e, Payload::pattern(i, 1024))
-                        .await;
+                        .await
+                        .unwrap();
                 }
                 // scattered dkeys on a second object (reverse order)
                 let mut scat_ops = 0;
@@ -768,7 +814,8 @@ mod tests {
                     let dk = format!("{:08}", i).into_bytes();
                     scat_ops += t
                         .update_array(&sim, 1, 2, &dk, &a, 512, e, Payload::pattern(i, 1024))
-                        .await;
+                        .await
+                        .unwrap();
                 }
                 (seq_ops, scat_ops)
             }
@@ -795,7 +842,8 @@ mod tests {
                     e1,
                     Payload::bytes(vec![1, 2, 3]),
                 )
-                .await;
+                .await
+                .unwrap();
                 let e2 = t.next_epoch();
                 t.update_single(
                     &sim,
@@ -806,15 +854,18 @@ mod tests {
                     e2,
                     Payload::bytes(vec![9]),
                 )
-                .await;
+                .await
+                .unwrap();
                 let v1 = t
                     .fetch_single(&sim, 1, 9, &crate::key("d"), &crate::key("attr"), e1)
                     .await
+                    .unwrap()
                     .unwrap();
                 assert_eq!(&v1.materialize()[..], &[1, 2, 3]);
                 let v2 = t
                     .fetch_single(&sim, 1, 9, &crate::key("d"), &crate::key("attr"), e2)
                     .await
+                    .unwrap()
                     .unwrap();
                 assert_eq!(&v2.materialize()[..], &[9]);
             }
@@ -863,7 +914,8 @@ mod tests {
                     e1,
                     Payload::pattern(1, 64),
                 )
-                .await;
+                .await
+                .unwrap();
                 let e2 = t.next_epoch();
                 t.punch_object(&sim, 1, 5, e2).await;
                 let e3 = t.next_epoch();
@@ -899,7 +951,8 @@ mod tests {
                         e,
                         Payload::bytes(vec![0]),
                     )
-                    .await;
+                    .await
+                    .unwrap();
                 }
                 t.list_dkeys(&sim, 1, 3, t.current_epoch()).await
             }
@@ -929,7 +982,8 @@ mod tests {
                         e,
                         Payload::pattern(e, 2048),
                     )
-                    .await;
+                    .await
+                    .unwrap();
                 }
                 // clean scrub pass first: everything verifies, time charged
                 let before = sim.now();
@@ -981,7 +1035,8 @@ mod tests {
                         e,
                         Payload::pattern(i, 256),
                     )
-                    .await;
+                    .await
+                    .unwrap();
                 }
                 let r1 = t.scrub_step(&sim, 2).await;
                 assert_eq!(r1.chunks, 2);
@@ -1024,7 +1079,8 @@ mod tests {
                     e,
                     Payload::pattern(1, 512),
                 )
-                .await;
+                .await
+                .unwrap();
                 t.inject_bit_rot(1_000_000, 99);
                 let segs = t
                     .fetch_array(&sim, 1, 1, &crate::key("d"), &crate::key("0"), 0, 512, e)
@@ -1056,7 +1112,8 @@ mod tests {
                         e,
                         Payload::pattern(e, 1024),
                     )
-                    .await;
+                    .await
+                    .unwrap();
                 }
                 let reclaimed = t.aggregate(1, t.current_epoch());
                 assert!(
